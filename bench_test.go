@@ -1,0 +1,242 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7). Each benchmark runs one experiment end to end and reports the
+// headline comparison as custom metrics (ns per technique and the
+// partition-based locking speedup). Full tables print under -v; the
+// cmd/benchtab tool prints them unconditionally and at full scale.
+//
+// Scale and cluster sizes are reduced by default so `go test -bench=.`
+// finishes in minutes; set SERIALGRAPH_SCALE and SERIALGRAPH_WORKERS to
+// override (e.g. SERIALGRAPH_SCALE=1 SERIALGRAPH_WORKERS=16,32 reproduces
+// the full grid).
+package serialgraph_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"serialgraph/internal/bench"
+)
+
+// benchConfig returns the reduced-scale default configuration.
+func benchConfig(b *testing.B) bench.Config {
+	b.Helper()
+	cfg := bench.Config{Scale: 0.5, Workers: []int{16}, Latency: 50 * time.Microsecond}
+	if s := os.Getenv("SERIALGRAPH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			cfg.Scale = f
+		}
+	}
+	if s := os.Getenv("SERIALGRAPH_WORKERS"); s != "" {
+		var ws []int
+		for _, f := range strings.Split(s, ",") {
+			if w, err := strconv.Atoi(strings.TrimSpace(f)); err == nil && w > 0 {
+				ws = append(ws, w)
+			}
+		}
+		if len(ws) > 0 {
+			cfg.Workers = ws
+		}
+	}
+	return cfg
+}
+
+// reportTechniques emits per-technique wall time metrics and the speedup of
+// partition-based locking over the slowest competitor — the paper's
+// headline number ("up to 26x faster than existing techniques").
+func reportTechniques(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	var partition time.Duration
+	var worst time.Duration
+	for _, r := range rows {
+		metric := strings.ReplaceAll(r.Technique, " ", "_") + "_" + r.Dataset + "_ns"
+		b.ReportMetric(float64(r.Time.Nanoseconds()), metric)
+		if strings.HasPrefix(r.Technique, "partition-lock") {
+			if r.Time > partition {
+				partition = r.Time
+			}
+		} else if r.Time > worst {
+			worst = r.Time
+		}
+	}
+	if partition > 0 && worst > 0 {
+		b.ReportMetric(float64(worst)/float64(partition), "speedup_vs_worst")
+	}
+}
+
+func logRows(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	var sb strings.Builder
+	bench.Print(&sb, rows)
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkTable1Datasets regenerates Table 1: dataset construction and
+// statistics for all four analogs.
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		bench.Table1(&sb, cfg)
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig1Spectrum measures the parallelism/communication spectrum of
+// Figure 1 on coloring.
+func BenchmarkFig1Spectrum(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig1Spectrum(cfg)
+		if i == 0 {
+			logRows(b, rows)
+			for _, r := range rows {
+				b.ReportMetric(float64(r.MaxConc), strings.ReplaceAll(r.Technique, " ", "_")+"_parallelism")
+			}
+		}
+	}
+}
+
+// BenchmarkFig23Oscillation runs the Figure 2/3 coloring non-termination
+// demonstration.
+func BenchmarkFig23Oscillation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		bench.Fig23(&sb)
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+func benchFig6(b *testing.B, alg string) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig6(alg, cfg)
+		if i == 0 {
+			logRows(b, rows)
+			reportTechniques(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig6aColoring regenerates Figure 6a.
+func BenchmarkFig6aColoring(b *testing.B) { benchFig6(b, "coloring") }
+
+// BenchmarkFig6bPageRank regenerates Figure 6b.
+func BenchmarkFig6bPageRank(b *testing.B) { benchFig6(b, "pagerank") }
+
+// BenchmarkFig6cSSSP regenerates Figure 6c.
+func BenchmarkFig6cSSSP(b *testing.B) { benchFig6(b, "sssp") }
+
+// BenchmarkFig6dWCC regenerates Figure 6d.
+func BenchmarkFig6dWCC(b *testing.B) { benchFig6(b, "wcc") }
+
+// BenchmarkGiraphxComparison regenerates the §7.3 in-algorithm vs
+// system-level comparison.
+func BenchmarkGiraphxComparison(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.Giraphx(cfg)
+		if i == 0 {
+			logRows(b, rows)
+			reportTechniques(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationPartitionCount sweeps partitions-per-worker (§7.1).
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationPartitions(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationDegenerate compares |P|→|V| partition locking with true
+// vertex locking (§5.4).
+func BenchmarkAblationDegenerate(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationDegenerate(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationPartitioner compares hash, range, and LDG partitionings
+// under partition-based locking.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationPartitioner(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkExclusion reproduces the §7 exclusion comparison: vertex-based
+// locking on Giraph async vs GraphLab async vs partition-based locking.
+func BenchmarkExclusion(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.Exclusion(cfg)
+		if i == 0 {
+			logRows(b, rows)
+			reportTechniques(b, rows)
+		}
+	}
+}
+
+// BenchmarkMISComparison contrasts serializable greedy MIS with Luby's.
+func BenchmarkMISComparison(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.MISComparison(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationCombining measures sender-side combining.
+func BenchmarkAblationCombining(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationCombining(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationSkip measures the §5.4 halted-partition skip.
+func BenchmarkAblationSkip(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationSkip(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkAblationBAP compares barriered AP with barrierless BAP.
+func BenchmarkAblationBAP(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationBAP(cfg)
+		if i == 0 {
+			logRows(b, rows)
+		}
+	}
+}

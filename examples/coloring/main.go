@@ -1,0 +1,63 @@
+// Coloring runs greedy graph coloring under every serializable technique —
+// including vertex-based locking on the GAS engine — verifies each result,
+// and checks the recorded histories against conditions C1/C2 and 1SR.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"serialgraph"
+)
+
+func main() {
+	g := serialgraph.Undirected(serialgraph.GeneratePowerLaw(3000, 10, 2.1, 9))
+	fmt.Printf("graph: %d vertices, %d undirected edges\n\n", g.NumVertices(), g.NumEdges()/2)
+	fmt.Printf("%-18s %10s %8s %10s %12s %10s\n", "technique", "time", "colors", "execs", "ctrl msgs", "violations")
+
+	base := serialgraph.Options{
+		Workers: 8, Model: serialgraph.Async, Seed: 11,
+		NetworkLatency: 20 * time.Microsecond,
+	}
+
+	for _, tech := range []serialgraph.Technique{
+		serialgraph.SingleToken, serialgraph.DualToken, serialgraph.PartitionLocking,
+	} {
+		opt := base
+		opt.Technique = tech
+		colors, res, violations, err := serialgraph.RunChecked(g, serialgraph.Coloring(), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serialgraph.ValidateColoring(g, colors); err != nil {
+			log.Fatalf("%v: %v", tech, err)
+		}
+		fmt.Printf("%-18s %10v %8d %10d %12d %10d\n",
+			tech, res.ComputeTime.Round(time.Millisecond), countColors(colors),
+			res.Executions, res.Net.ControlMessages, len(violations))
+	}
+
+	opt := base
+	opt.Technique = serialgraph.VertexLocking
+	colors, res, violations, err := serialgraph.RunGASChecked(g, serialgraph.ColoringGAS(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := serialgraph.ValidateColoring(g, colors); err != nil {
+		log.Fatalf("vertex locking: %v", err)
+	}
+	fmt.Printf("%-18s %10v %8d %10d %12d %10d\n",
+		serialgraph.VertexLocking, res.ComputeTime.Round(time.Millisecond), countColors(colors),
+		res.Executions, res.Net.ControlMessages, len(violations))
+
+	fmt.Println("\nall techniques produced proper colorings with clean histories")
+}
+
+func countColors(colors []int32) int {
+	seen := map[int32]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,3 @@
+module serialgraph
+
+go 1.24

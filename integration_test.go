@@ -1,0 +1,174 @@
+package serialgraph_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"serialgraph"
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/generate"
+)
+
+// TestCrossEngineEquivalence checks that deterministic algorithms (SSSP,
+// WCC) produce identical results under every engine/technique combination
+// on random graphs: BSP, plain async, all three serializable techniques on
+// the AP engine, and both GAS modes.
+func TestCrossEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(300)
+		g := generate.PowerLaw(generate.PowerLawConfig{
+			N: n, AvgDegree: 3 + float64(r.Intn(5)), Exponent: 2.0 + r.Float64(), Seed: seed,
+		})
+		workers := 1 + r.Intn(6)
+
+		wantDist := algorithms.ShortestPaths(g, 0)
+
+		pregelCases := []serialgraph.Options{
+			{Workers: workers, Model: serialgraph.BSP},
+			{Workers: workers, Model: serialgraph.Async},
+			{Workers: workers, Model: serialgraph.Async, Technique: serialgraph.SingleToken},
+			{Workers: workers, Model: serialgraph.Async, Technique: serialgraph.DualToken},
+			{Workers: workers, Model: serialgraph.Async, Technique: serialgraph.PartitionLocking},
+		}
+		for _, opt := range pregelCases {
+			opt.Seed = uint64(seed)
+			dist, res, err := serialgraph.Run(g, serialgraph.SSSP(0), opt)
+			if err != nil || !res.Converged {
+				t.Logf("seed %d opt %+v: err=%v converged=%v", seed, opt, err, res.Converged)
+				return false
+			}
+			for v := range wantDist {
+				if dist[v] != wantDist[v] {
+					t.Logf("seed %d opt %+v: dist[%d]=%v want %v", seed, opt, v, dist[v], wantDist[v])
+					return false
+				}
+			}
+		}
+		for _, tech := range []serialgraph.Technique{serialgraph.VertexLocking, serialgraph.NoSerializability} {
+			dist, res, err := serialgraph.RunGAS(g, serialgraph.SSSPGAS(0), serialgraph.Options{
+				Workers: workers, Technique: tech, Seed: uint64(seed),
+			})
+			if err != nil || !res.Converged {
+				t.Logf("seed %d GAS %v: err=%v converged=%v", seed, tech, err, res.Converged)
+				return false
+			}
+			for v := range wantDist {
+				if dist[v] != wantDist[v] {
+					t.Logf("seed %d GAS %v: dist[%d]=%v want %v", seed, tech, v, dist[v], wantDist[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWCCEquivalenceUnderLatency checks WCC agreement with the union-find
+// reference across engines while the network has latency and finite
+// bandwidth — racing deliveries against computation.
+func TestWCCEquivalenceUnderLatency(t *testing.T) {
+	g := serialgraph.Undirected(generate.PowerLaw(generate.PowerLawConfig{
+		N: 400, AvgDegree: 4, Exponent: 2.2, Seed: 71,
+	}))
+	want := algorithms.Components(g)
+	opts := []serialgraph.Options{
+		{Workers: 4, Model: serialgraph.BSP},
+		{Workers: 4, Model: serialgraph.Async, Technique: serialgraph.PartitionLocking},
+		{Workers: 4, Model: serialgraph.Async, Technique: serialgraph.DualToken},
+	}
+	for _, opt := range opts {
+		opt.NetworkLatency = 200 * time.Microsecond
+		opt.NetworkBandwidth = 1 << 26
+		opt.Seed = 3
+		labels, res, err := serialgraph.Run(g, serialgraph.WCC(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", opt.Technique)
+		}
+		for v := range want {
+			if labels[v] != want[v] {
+				t.Fatalf("%v: label[%d]=%d want %d", opt.Technique, v, labels[v], want[v])
+			}
+		}
+	}
+	labels, res, err := serialgraph.RunGAS(g, serialgraph.WCCGAS(), serialgraph.Options{
+		Workers: 4, Technique: serialgraph.VertexLocking,
+		NetworkLatency: 200 * time.Microsecond, Seed: 3,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("GAS: err=%v converged=%v", err, res.Converged)
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("GAS: label[%d]=%d want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+// TestColoringQualityAcrossTechniques verifies that serializable greedy
+// coloring stays near the serial greedy color count for every technique.
+func TestColoringQualityAcrossTechniques(t *testing.T) {
+	g := serialgraph.Undirected(generate.PowerLaw(generate.PowerLawConfig{
+		N: 1000, AvgDegree: 8, Exponent: 2.1, Seed: 73,
+	}))
+	// Serial greedy reference (vertex order 0..n-1).
+	serialColors := make([]int32, g.NumVertices())
+	for i := range serialColors {
+		serialColors[i] = -1
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		used := map[int32]bool{}
+		for _, nb := range g.OutNeighbors(serialgraph.VertexID(v)) {
+			used[serialColors[nb]] = true
+		}
+		for c := int32(0); ; c++ {
+			if !used[c] {
+				serialColors[v] = c
+				break
+			}
+		}
+	}
+	refCount := int32(0)
+	for _, c := range serialColors {
+		if c > refCount {
+			refCount = c
+		}
+	}
+
+	for _, tech := range []serialgraph.Technique{
+		serialgraph.SingleToken, serialgraph.DualToken, serialgraph.PartitionLocking,
+	} {
+		colors, res, err := serialgraph.Run(g, serialgraph.Coloring(), serialgraph.Options{
+			Workers: 4, Model: serialgraph.Async, Technique: tech, Seed: 5,
+		})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v: err=%v converged=%v", tech, err, res.Converged)
+		}
+		if err := serialgraph.ValidateColoring(g, colors); err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		var maxC int32
+		for _, c := range colors {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		// Any serializable execution is equivalent to SOME serial greedy
+		// order; color counts may differ but should stay in the same
+		// ballpark (within 2x of the ID-order serial run).
+		if maxC > 2*refCount+2 {
+			t.Errorf("%v used %d colors vs serial reference %d", tech, maxC+1, refCount+1)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"serialgraph/internal/generate"
+	"serialgraph/internal/graph"
+)
+
+func TestSmallestFree(t *testing.T) {
+	cases := []struct {
+		used []int32
+		want int32
+	}{
+		{nil, 0},
+		{[]int32{0}, 1},
+		{[]int32{1}, 0},
+		{[]int32{0, 1, 2}, 3},
+		{[]int32{0, 2}, 1},
+		{[]int32{2, 0, 2, 0}, 1},
+		{[]int32{NoColor, 0}, 1}, // uncolored neighbors don't conflict
+		{[]int32{5}, 0},
+	}
+	for _, c := range cases {
+		if got := smallestFree(c.used); got != c.want {
+			t.Errorf("smallestFree(%v) = %d, want %d", c.used, got, c.want)
+		}
+	}
+}
+
+func TestSmallestFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		used := make([]int32, r.Intn(30))
+		for i := range used {
+			used[i] = int32(r.Intn(10)) - 1
+		}
+		c := smallestFree(used)
+		if c < 0 {
+			return false
+		}
+		for _, u := range used {
+			if u == c {
+				return false // conflict
+			}
+		}
+		// Minimality: every smaller color is used.
+		for x := int32(0); x < c; x++ {
+			found := false
+			for _, u := range used {
+				if u == x {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateColoring(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.BuildUndirected()
+	if err := ValidateColoring(g, []int32{0, 1, 0}); err != nil {
+		t.Errorf("valid coloring rejected: %v", err)
+	}
+	if err := ValidateColoring(g, []int32{0, 0, 1}); err == nil {
+		t.Error("conflicting coloring accepted")
+	}
+	if err := ValidateColoring(g, []int32{0, NoColor, 1}); err == nil {
+		t.Error("incomplete coloring accepted")
+	}
+	if err := ValidateColoring(g, []int32{0, 1}); err == nil {
+		t.Error("wrong-length coloring accepted")
+	}
+}
+
+func TestColorsUsed(t *testing.T) {
+	if got := ColorsUsed([]int32{0, 1, 0, 2, NoColor}); got != 3 {
+		t.Errorf("ColorsUsed = %d, want 3", got)
+	}
+}
+
+func TestShortestPathsOnKnownGraph(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 with a shortcut 0 -> 3 of weight 5 (longer).
+	b := graph.NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(2, 3, 1)
+	b.AddWeightedEdge(0, 3, 5)
+	g := b.Build()
+	d := ShortestPaths(g, 0)
+	want := []float64{0, 1, 2, 3, Infinity}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Errorf("d[%d] = %v, want %v", v, d[v], want[v])
+		}
+	}
+}
+
+func TestComponentsOnKnownGraph(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 3) // second component {3,4}; vertex 5 isolated
+	g := b.Build()
+	c := Components(g)
+	want := []int32{0, 0, 0, 3, 3, 5}
+	for v := range want {
+		if c[v] != want[v] {
+			t.Errorf("c[%d] = %d, want %d", v, c[v], want[v])
+		}
+	}
+}
+
+func TestPageRankReferenceAndResidual(t *testing.T) {
+	g := generate.PowerLaw(generate.PowerLawConfig{N: 200, AvgDegree: 5, Exponent: 2.2, Seed: 4})
+	pr := PageRankReference(g, 100)
+	if r := PageRankResidual(g, pr); r > 1e-6 {
+		t.Errorf("reference residual %.2e not converged", r)
+	}
+	sum := 0.0
+	for _, x := range pr {
+		sum += x
+	}
+	if math.IsNaN(sum) || sum <= 0 {
+		t.Errorf("bad rank sum %v", sum)
+	}
+}
+
+func TestGASProgramShapes(t *testing.T) {
+	g := generate.Ring(4)
+	// ColoringGAS gathers only colored neighbors.
+	cg := ColoringGAS()
+	if got := cg.Gather(0, 1, NoColor, 1); got != nil {
+		t.Errorf("gather of uncolored = %v", got)
+	}
+	if got := cg.Gather(0, 1, 3, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("gather of color 3 = %v", got)
+	}
+	v, act := cg.Apply(0, NoColor, []int32{0, 1}, true)
+	if v != 2 || !act {
+		t.Errorf("apply = %d,%v want 2,true", v, act)
+	}
+	// Keeping a non-conflicting color must not activate.
+	v, act = cg.Apply(0, 5, []int32{0, 1}, true)
+	if v != 5 || act {
+		t.Errorf("apply kept = %d,%v want 5,false", v, act)
+	}
+
+	// SSSPGAS improves and scatters.
+	sg := SSSPGAS(0)
+	if d, act := sg.Apply(1, Infinity, 3, true); d != 3 || !act {
+		t.Errorf("sssp apply = %v,%v", d, act)
+	}
+	if d, act := sg.Apply(1, 2, 3, true); d != 2 || act {
+		t.Errorf("sssp no-improve = %v,%v", d, act)
+	}
+
+	// PageRankGAS uses out-degrees from the closed-over graph.
+	pg := PageRankGAS(g, 0.01)
+	if got := pg.Gather(0, 3, 2.0, 1); got != 2.0 {
+		t.Errorf("pr gather = %v, want 2.0 (ring degree 1)", got)
+	}
+
+	// WCCGAS keeps minima.
+	wg := WCCGAS()
+	if v, act := wg.Apply(5, 5, 2, true); v != 2 || !act {
+		t.Errorf("wcc apply = %v,%v", v, act)
+	}
+	if v, act := wg.Apply(5, 1, 2, true); v != 1 || act {
+		t.Errorf("wcc keep = %v,%v", v, act)
+	}
+}

@@ -1,0 +1,122 @@
+package algorithms
+
+import (
+	"math"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/model"
+)
+
+// ColoringGAS is greedy coloring in GAS form: gather collects neighbor
+// colors, apply picks the smallest free color and scatters only on change.
+// GraphLab's pull-based model completes in a single pass per vertex under
+// serializability (§7.2.1).
+func ColoringGAS() model.GASProgram[int32, []int32] {
+	return model.GASProgram[int32, []int32]{
+		Name: "coloring-gas",
+		Init: func(graph.VertexID, *graph.Graph) int32 { return NoColor },
+		Gather: func(_, _ graph.VertexID, nbrVal int32, _ float64) []int32 {
+			if nbrVal == NoColor {
+				return nil
+			}
+			return []int32{nbrVal}
+		},
+		Sum: func(a, b []int32) []int32 { return append(a, b...) },
+		Apply: func(_ graph.VertexID, old int32, acc []int32, _ bool) (int32, bool) {
+			c := smallestFree(acc)
+			if old != NoColor {
+				// Already colored: keep the color unless a conflict arose.
+				conflict := false
+				for _, u := range acc {
+					if u == old {
+						conflict = true
+						break
+					}
+				}
+				if !conflict {
+					return old, false
+				}
+			}
+			return c, c != old
+		},
+		ValBytes: 4,
+	}
+}
+
+// PageRankGAS is PageRank in GAS form. Gather needs each in-neighbor's
+// out-degree, so the constructor closes over the graph.
+func PageRankGAS(g *graph.Graph, eps float64) model.GASProgram[float64, float64] {
+	return model.GASProgram[float64, float64]{
+		Name: "pagerank-gas",
+		Init: func(graph.VertexID, *graph.Graph) float64 { return 1.0 },
+		Gather: func(_, nbr graph.VertexID, nbrVal float64, _ float64) float64 {
+			if d := g.OutDegree(nbr); d > 0 {
+				return nbrVal / float64(d)
+			}
+			return 0
+		},
+		Sum: func(a, b float64) float64 { return a + b },
+		Apply: func(_ graph.VertexID, old float64, acc float64, hasAcc bool) (float64, bool) {
+			pr := 0.15
+			if hasAcc {
+				pr += 0.85 * acc
+			}
+			return pr, math.Abs(pr-old) > eps
+		},
+		ValBytes: 8,
+	}
+}
+
+// SSSPGAS is SSSP in GAS form: gather pulls each in-neighbor's distance
+// plus the edge weight, apply keeps the minimum and scatters on
+// improvement.
+func SSSPGAS(source graph.VertexID) model.GASProgram[float64, float64] {
+	return model.GASProgram[float64, float64]{
+		Name: "sssp-gas",
+		Init: func(id graph.VertexID, _ *graph.Graph) float64 {
+			if id == source {
+				return 0
+			}
+			return Infinity
+		},
+		Gather: func(_, _ graph.VertexID, nbrVal float64, w float64) float64 {
+			if w == 0 {
+				w = 1
+			}
+			return nbrVal + w
+		},
+		Sum: math.Min,
+		Apply: func(_ graph.VertexID, old float64, acc float64, hasAcc bool) (float64, bool) {
+			if hasAcc && acc < old {
+				return acc, true
+			}
+			// The source's first activation must scatter its 0 distance.
+			return old, old == 0
+		},
+		ValBytes: 8,
+	}
+}
+
+// WCCGAS is HCC in GAS form on a symmetrized graph.
+func WCCGAS() model.GASProgram[int32, int32] {
+	return model.GASProgram[int32, int32]{
+		Name: "wcc-gas",
+		Init: func(id graph.VertexID, _ *graph.Graph) int32 { return int32(id) },
+		Gather: func(_, _ graph.VertexID, nbrVal int32, _ float64) int32 {
+			return nbrVal
+		},
+		Sum: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Apply: func(_ graph.VertexID, old int32, acc int32, hasAcc bool) (int32, bool) {
+			if hasAcc && acc < old {
+				return acc, true
+			}
+			return old, false
+		},
+		ValBytes: 4,
+	}
+}

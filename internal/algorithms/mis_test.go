@@ -1,0 +1,76 @@
+package algorithms
+
+import (
+	"testing"
+
+	"serialgraph/internal/generate"
+	"serialgraph/internal/graph"
+)
+
+func undirectedPL(n int, seed int64) *graph.Graph {
+	g := generate.PowerLaw(generate.PowerLawConfig{N: n, AvgDegree: 5, Exponent: 2.2, Seed: seed})
+	b := graph.NewBuilder(g.NumVertices())
+	for u := graph.VertexID(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.BuildUndirected()
+}
+
+func TestValidateMIS(t *testing.T) {
+	// Path 0-1-2.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.BuildUndirected()
+
+	if err := ValidateMIS(g, []int32{MISIn, MISOut, MISIn}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	// Middle vertex alone is also a valid MIS.
+	if err := ValidateMIS(g, []int32{MISOut, MISIn, MISOut}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	if err := ValidateMIS(g, []int32{MISIn, MISIn, MISOut}); err == nil {
+		t.Error("adjacent In pair accepted")
+	}
+	if err := ValidateMIS(g, []int32{MISIn, MISOut, MISOut}); err == nil {
+		t.Error("non-maximal set accepted (vertex 2 Out with no In neighbor)")
+	}
+	if err := ValidateMIS(g, []int32{MISIn, MISOut, MISUnknown}); err == nil {
+		t.Error("undecided vertex accepted")
+	}
+	if err := ValidateMIS(g, []int32{MISIn}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestLubyHashDeterministic(t *testing.T) {
+	a := lubyHash(42, 3, 7)
+	if lubyHash(42, 3, 7) != a {
+		t.Error("hash not deterministic")
+	}
+	if lubyHash(42, 4, 7) == a && lubyHash(43, 3, 7) == a {
+		t.Error("hash ignores inputs")
+	}
+}
+
+func TestMISGreedyShape(t *testing.T) {
+	// Direct unit exercise of the compute function's three branches through
+	// a scripted context would duplicate the engine; instead check the GAS
+	// Apply logic, which is pure.
+	p := MISGreedyGAS()
+	if v, act := p.Apply(0, MISUnknown, nil, false); v != MISIn || !act {
+		t.Errorf("lone vertex: %d,%v want In,true", v, act)
+	}
+	if v, act := p.Apply(0, MISUnknown, []int32{MISIn}, true); v != MISOut || act {
+		t.Errorf("with In neighbor: %d,%v want Out,false", v, act)
+	}
+	if v, act := p.Apply(0, MISIn, []int32{MISIn}, true); v != MISIn || act {
+		t.Errorf("already decided: %d,%v want In,false", v, act)
+	}
+	if got := p.Gather(0, 1, MISOut, 1); got != nil {
+		t.Errorf("gather of Out neighbor = %v, want nil", got)
+	}
+}

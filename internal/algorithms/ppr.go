@@ -1,0 +1,139 @@
+package algorithms
+
+import (
+	"math"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/model"
+)
+
+// PersonalizedPageRank computes random-walk-with-restart scores around a
+// source vertex: pr(u) = (1-d)·[u = source] + d·Σ pr(v)/deg(v). The
+// restart mass concentrates scores near the source, the standard
+// similarity measure for recommendation workloads. Vertices halt when
+// their score changes by less than eps.
+func PersonalizedPageRank(source graph.VertexID, damping, eps float64) model.Program[float64, float64] {
+	if damping <= 0 || damping >= 1 {
+		panic("algorithms: damping must be in (0, 1)")
+	}
+	return model.Program[float64, float64]{
+		Name:      "personalized-pagerank",
+		Semantics: model.Overwrite,
+		MsgBytes:  8,
+		Init:      func(graph.VertexID, *graph.Graph) float64 { return -1 },
+		Compute: func(ctx model.Context[float64, float64], msgs []float64) {
+			restart := 0.0
+			if ctx.ID() == source {
+				restart = 1 - damping
+			}
+			if ctx.Value() < 0 {
+				// Start all mass at the source.
+				pr := 0.0
+				if ctx.ID() == source {
+					pr = 1.0
+				}
+				ctx.SetValue(pr)
+				if pr > 0 {
+					if d := len(ctx.OutNeighbors()); d > 0 {
+						ctx.SendToAllOut(pr / float64(d))
+					}
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			sum := 0.0
+			for _, m := range msgs {
+				sum += m
+			}
+			pr := restart + damping*sum
+			delta := math.Abs(pr - ctx.Value())
+			ctx.SetValue(pr)
+			if delta > eps {
+				if d := len(ctx.OutNeighbors()); d > 0 {
+					ctx.SendToAllOut(pr / float64(d))
+				}
+			}
+			ctx.VoteToHalt()
+		},
+	}
+}
+
+// HopValue is the per-vertex state of HopHistogram: a bitmask of which of
+// the K sources can reach this vertex, plus the hop count at which the
+// mask last grew.
+type HopValue struct {
+	Reached uint64
+	Hops    int32
+	Sent    bool // initial source bit already broadcast
+}
+
+// HopHistogram runs K simultaneous reverse-BFS waves (K <= 64 source
+// vertices, one bit each) in the style of HADI/effective-diameter
+// estimation: each vertex tracks which sources reach it and in how many
+// hops. After the run, Hops holds the last hop count at which the vertex
+// learned of a new source — the basis for neighborhood-function and
+// effective-diameter estimates. Uses OR-combining, so it also exercises a
+// third combiner shape beyond min and sum.
+func HopHistogram(sources []graph.VertexID) model.Program[HopValue, uint64] {
+	if len(sources) == 0 || len(sources) > 64 {
+		panic("algorithms: HopHistogram needs 1..64 sources")
+	}
+	srcBit := make(map[graph.VertexID]uint64, len(sources))
+	for i, s := range sources {
+		srcBit[s] |= 1 << i
+	}
+	return model.Program[HopValue, uint64]{
+		Name:      "hop-histogram",
+		Semantics: model.Combine,
+		Combine:   func(a, b uint64) uint64 { return a | b },
+		MsgBytes:  8,
+		Init: func(id graph.VertexID, _ *graph.Graph) HopValue {
+			return HopValue{Reached: srcBit[id], Hops: 0}
+		},
+		Compute: func(ctx model.Context[HopValue, uint64], msgs []uint64) {
+			v := ctx.Value()
+			incoming := uint64(0)
+			for _, m := range msgs {
+				incoming |= m
+			}
+			grew := incoming&^v.Reached != 0
+			first := v.Reached != 0 && !v.Sent
+			if grew {
+				v.Reached |= incoming
+				v.Hops++
+			}
+			if grew || first {
+				v.Sent = true
+				ctx.SetValue(v)
+				ctx.SendToAllOut(v.Reached)
+			}
+			ctx.VoteToHalt()
+		},
+	}
+}
+
+// ReachabilityReference computes, by BFS from each source, the set of
+// sources reaching every vertex — the reference for HopHistogram.
+func ReachabilityReference(g *graph.Graph, sources []graph.VertexID) []uint64 {
+	n := g.NumVertices()
+	out := make([]uint64, n)
+	for i, s := range sources {
+		bit := uint64(1) << i
+		seen := make([]bool, n)
+		queue := []graph.VertexID{s}
+		seen[s] = true
+		out[s] |= bit
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.OutNeighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					out[v] |= bit
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return out
+}

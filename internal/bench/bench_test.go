@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit testing the harness
+// itself.
+func tiny() Config {
+	return Config{Scale: 0.05, Workers: []int{4}, Latency: 10 * time.Microsecond}
+}
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb, tiny())
+	out := sb.String()
+	for _, name := range []string{"OR", "AR", "TW", "UK"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig23(t *testing.T) {
+	var sb strings.Builder
+	Fig23(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "converged=false") {
+		t.Errorf("figure 2 run converged:\n%s", out)
+	}
+	if !strings.Contains(out, "partition lock") {
+		t.Errorf("missing resolution line:\n%s", out)
+	}
+}
+
+func TestFig6SmallGrid(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"OR"}
+	rows := Fig6("sssp", cfg)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (token-dual, partition-lock, vertex-lock)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Errorf("%s did not converge", r.Technique)
+		}
+		if r.Time <= 0 {
+			t.Errorf("%s has no time", r.Technique)
+		}
+	}
+}
+
+func TestPrintFormatsRows(t *testing.T) {
+	rows := []Row{{
+		Experiment: "x", Algorithm: "a", Dataset: "OR", Workers: 4,
+		Technique: "t", Time: 12 * time.Millisecond, Supersteps: 3,
+		Executions: 100, DataMsgs: 5, DataBytes: 2048, CtrlMsgs: 7, Converged: true,
+	}}
+	var sb strings.Builder
+	Print(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"12ms", "100", "OR", "true", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpectrumAndExclusionAndMIS(t *testing.T) {
+	cfg := tiny()
+	if rows := Fig1Spectrum(cfg); len(rows) != 4 {
+		t.Errorf("spectrum rows = %d, want 4", len(rows))
+	}
+	if rows := Exclusion(cfg); len(rows) != 3 {
+		t.Errorf("exclusion rows = %d, want 3", len(rows))
+	}
+	if rows := MISComparison(cfg); len(rows) != 2 {
+		t.Errorf("mis rows = %d, want 2", len(rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tiny()
+	if rows := AblationPartitions(cfg); len(rows) < 3 {
+		t.Errorf("partition sweep rows = %d", len(rows))
+	}
+	if rows := AblationCombining(cfg); len(rows) != 2 {
+		t.Errorf("combining rows = %d", len(rows))
+	}
+	if rows := AblationSkip(cfg); len(rows) != 2 {
+		t.Errorf("skip rows = %d", len(rows))
+	}
+	if rows := AblationBAP(cfg); len(rows) != 2 {
+		t.Errorf("bap rows = %d", len(rows))
+	}
+	if rows := AblationDegenerate(cfg); len(rows) != 3 {
+		t.Errorf("degenerate rows = %d", len(rows))
+	}
+	if rows := AblationPartitioner(cfg); len(rows) != 3 {
+		t.Errorf("partitioner rows = %d", len(rows))
+	}
+}
+
+func TestPRThreshold(t *testing.T) {
+	if prThreshold("OR") != 0.01 || prThreshold("AR") != 0.01 {
+		t.Error("OR/AR threshold wrong")
+	}
+	if prThreshold("TW") != 0.1 || prThreshold("UK") != 0.1 {
+		t.Error("TW/UK threshold wrong")
+	}
+}

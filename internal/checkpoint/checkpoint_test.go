@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serialgraph/internal/chandy"
+	"serialgraph/internal/msgstore"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot[float64, float64]{
+		Superstep: 7,
+		Values:    []float64{1.5, 2.5},
+		Halted:    []bool{true, false},
+		AggPrev:   map[string]float64{"err": 0.25},
+		Stores: [][]msgstore.DumpEntry[float64]{
+			{{Dst: 0, Src: 1, Msg: 3.5, Ver: 2, IsNew: true}},
+			nil,
+		},
+		Forks: []map[chandy.PhilID]map[chandy.PhilID]byte{
+			{1: {2: 3}},
+		},
+	}
+	path := Path(dir, 7)
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[float64, float64](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Superstep != 7 || got.Values[1] != 2.5 || !got.Halted[0] ||
+		got.AggPrev["err"] != 0.25 || got.Stores[0][0].Msg != 3.5 ||
+		got.Forks[0][1][2] != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	dir := t.TempDir()
+	if p, err := Latest(dir); err != nil || p != "" {
+		t.Fatalf("empty dir: %q, %v", p, err)
+	}
+	for _, s := range []int{2, 10, 6} {
+		if err := Save(Path(dir, s), &Snapshot[int32, int32]{Superstep: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "checkpoint-000010.gob" {
+		t.Errorf("Latest = %s", p)
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(dir, 1)
+	if err := Save(path, &Snapshot[int32, int32]{Superstep: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load[int32, int32](filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sync"
+)
+
+// Simulated wire sizes (bytes). Data batches additionally count their
+// entries' payload bytes.
+const (
+	CtrlBytes        = 64 // a fork, token, or other control message
+	AckBytes         = 16
+	FlushMarkerBytes = 16
+	BatchHeaderBytes = 32
+	EntryHeaderBytes = 8 // per vertex-message destination ID
+)
+
+type flushMarker struct{ Seq uint64 }
+type ackMsg struct{ Seq uint64 }
+
+// Endpoint is a worker's connection to the transport. It dispatches
+// incoming traffic to data/control callbacks and implements the
+// flush-with-ack protocol used before token handoffs: because lanes are
+// FIFO, an acked flush marker guarantees every earlier data message to that
+// worker has been delivered and applied.
+type Endpoint struct {
+	t  *Transport
+	id WorkerID
+
+	onData func(from WorkerID, payload any)
+	onCtrl func(from WorkerID, payload any)
+
+	mu      sync.Mutex
+	nextSeq uint64
+	acks    map[uint64]chan struct{}
+}
+
+// NewEndpoint registers worker id on t. onData receives Data payloads,
+// onCtrl receives Control payloads; both run on transport delivery
+// goroutines and must not block indefinitely.
+func NewEndpoint(t *Transport, id WorkerID, onData, onCtrl func(from WorkerID, payload any)) *Endpoint {
+	e := &Endpoint{t: t, id: id, onData: onData, onCtrl: onCtrl, acks: make(map[uint64]chan struct{})}
+	t.RegisterHandler(id, e.handle)
+	return e
+}
+
+// ID returns the worker ID of this endpoint.
+func (e *Endpoint) ID() WorkerID { return e.id }
+
+// Transport returns the underlying transport.
+func (e *Endpoint) Transport() *Transport { return e.t }
+
+func (e *Endpoint) handle(m Message) {
+	switch p := m.Payload.(type) {
+	case flushMarker:
+		e.t.Send(Message{From: e.id, To: m.From, Kind: Ack, Bytes: AckBytes, Payload: ackMsg{p.Seq}})
+	case ackMsg:
+		e.mu.Lock()
+		ch := e.acks[p.Seq]
+		delete(e.acks, p.Seq)
+		e.mu.Unlock()
+		if ch != nil {
+			close(ch)
+		}
+	default:
+		switch m.Kind {
+		case Data:
+			if e.onData != nil {
+				e.onData(m.From, m.Payload)
+			}
+		default:
+			if e.onCtrl != nil {
+				e.onCtrl(m.From, m.Payload)
+			}
+		}
+	}
+}
+
+// SendData sends a data payload (a batch of vertex messages) of the given
+// simulated size.
+func (e *Endpoint) SendData(to WorkerID, payload any, bytes int) {
+	e.t.Send(Message{From: e.id, To: to, Kind: Data, Bytes: bytes, Payload: payload})
+}
+
+// SendCtrl sends a control payload (fork, token, barrier vote...).
+func (e *Endpoint) SendCtrl(to WorkerID, payload any) {
+	e.t.Send(Message{From: e.id, To: to, Kind: Control, Bytes: CtrlBytes, Payload: payload})
+}
+
+// FlushWait sends a flush marker to each worker in targets and blocks until
+// every one has acknowledged it, guaranteeing (by lane FIFO order) that all
+// data previously sent to those workers has been delivered.
+func (e *Endpoint) FlushWait(targets []WorkerID) {
+	chans := make([]chan struct{}, 0, len(targets))
+	for _, to := range targets {
+		if to == e.id {
+			continue
+		}
+		e.mu.Lock()
+		e.nextSeq++
+		seq := e.nextSeq
+		ch := make(chan struct{})
+		e.acks[seq] = ch
+		e.mu.Unlock()
+		e.t.Send(Message{From: e.id, To: to, Kind: Control, Bytes: FlushMarkerBytes, Payload: flushMarker{seq}})
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+}

@@ -1,0 +1,290 @@
+// Package cluster simulates the network of a shared-nothing cluster inside
+// a single process. Workers are goroutines; all inter-worker traffic flows
+// through a Transport that imposes per-message propagation latency and
+// per-lane serialization (bandwidth) delay, preserves FIFO order per
+// (sender, receiver) pair — as TCP does between two Giraph workers — and
+// counts every message and byte.
+//
+// The paper's evaluation is entirely about the communication/parallelism
+// trade-off of synchronization techniques, so the transport makes both
+// measurable: wall-clock computation time includes simulated network
+// delays, and Stats exposes message/byte/flush counts per traffic class.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerID identifies a simulated worker machine: 0 <= id < NumWorkers.
+type WorkerID int32
+
+// Kind classifies traffic for accounting.
+type Kind uint8
+
+const (
+	// Data messages carry vertex messages (remote replica updates).
+	Data Kind = iota
+	// Control messages carry forks, tokens, barriers, and flush markers.
+	Control
+	// Ack messages confirm delivery of a flush.
+	Ack
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	case Ack:
+		return "ack"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is a unit of simulated network traffic.
+type Message struct {
+	From, To WorkerID
+	Kind     Kind
+	Bytes    int // simulated wire size
+	Payload  any
+}
+
+// LatencyModel describes the simulated network.
+type LatencyModel struct {
+	// Propagation is the one-way delay added to every message.
+	Propagation time.Duration
+	// BytesPerSec is per-lane bandwidth; 0 means infinite.
+	BytesPerSec float64
+}
+
+// Delay returns the serialization time for a message of the given size.
+func (l LatencyModel) serialization(bytes int) time.Duration {
+	if l.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / l.BytesPerSec * float64(time.Second))
+}
+
+// Handler receives delivered messages. Handlers for one (sender, receiver)
+// pair run sequentially in send order; handlers for different pairs run
+// concurrently. A handler may call Send.
+type Handler func(m Message)
+
+// Stats holds cumulative traffic counters. All fields are atomically
+// updated and may be read while the transport is active.
+type Stats struct {
+	DataMessages    atomic.Int64
+	DataBytes       atomic.Int64
+	ControlMessages atomic.Int64
+	ControlBytes    atomic.Int64
+	AckMessages     atomic.Int64
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	DataMessages, DataBytes       int64
+	ControlMessages, ControlBytes int64
+	AckMessages                   int64
+}
+
+// Load copies the counters.
+func (s *Stats) Load() Snapshot {
+	return Snapshot{
+		DataMessages: s.DataMessages.Load(), DataBytes: s.DataBytes.Load(),
+		ControlMessages: s.ControlMessages.Load(), ControlBytes: s.ControlBytes.Load(),
+		AckMessages: s.AckMessages.Load(),
+	}
+}
+
+// Sub returns s - o, the traffic between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		DataMessages: s.DataMessages - o.DataMessages, DataBytes: s.DataBytes - o.DataBytes,
+		ControlMessages: s.ControlMessages - o.ControlMessages, ControlBytes: s.ControlBytes - o.ControlBytes,
+		AckMessages: s.AckMessages - o.AckMessages,
+	}
+}
+
+// TotalMessages is the sum of all message counters.
+func (s Snapshot) TotalMessages() int64 { return s.DataMessages + s.ControlMessages + s.AckMessages }
+
+// lane is the FIFO link for one (sender, receiver) pair.
+type lane struct {
+	mu         sync.Mutex
+	q          []timed
+	cond       *sync.Cond
+	lastDepart time.Time
+	closed     bool
+}
+
+type timed struct {
+	msg       Message
+	deliverAt time.Time
+}
+
+// Transport connects n workers.
+type Transport struct {
+	n        int
+	latency  LatencyModel
+	handlers []Handler
+	lanes    []*lane // n*n, index from*n+to
+	stats    Stats
+
+	inflightMu sync.Mutex
+	inflight   int
+	idleCond   *sync.Cond
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New creates a transport for n workers with the given latency model.
+// RegisterHandler must be called for every worker before any Send.
+func New(n int, latency LatencyModel) *Transport {
+	if n < 1 {
+		panic("cluster: need at least one worker")
+	}
+	t := &Transport{
+		n:        n,
+		latency:  latency,
+		handlers: make([]Handler, n),
+		lanes:    make([]*lane, n*n),
+	}
+	t.idleCond = sync.NewCond(&t.inflightMu)
+	for i := range t.lanes {
+		l := &lane{}
+		l.cond = sync.NewCond(&l.mu)
+		t.lanes[i] = l
+		t.wg.Add(1)
+		go t.deliver(l)
+	}
+	return t
+}
+
+// NumWorkers returns the cluster size.
+func (t *Transport) NumWorkers() int { return t.n }
+
+// Latency returns the latency model in use.
+func (t *Transport) Latency() LatencyModel { return t.latency }
+
+// Stats returns the traffic counters.
+func (t *Transport) Stats() *Stats { return &t.stats }
+
+// RegisterHandler installs the delivery callback for worker w.
+func (t *Transport) RegisterHandler(w WorkerID, h Handler) {
+	if t.handlers[w] != nil {
+		panic(fmt.Sprintf("cluster: handler for worker %d registered twice", w))
+	}
+	t.handlers[w] = h
+}
+
+// Send enqueues m for delivery. It never blocks. Sending to yourself is
+// allowed and goes through the same simulated path (engines bypass the
+// transport for truly local traffic).
+func (t *Transport) Send(m Message) {
+	if t.closed.Load() {
+		return // shutting down; drop, as a dying cluster would
+	}
+	if m.From < 0 || int(m.From) >= t.n || m.To < 0 || int(m.To) >= t.n {
+		panic(fmt.Sprintf("cluster: bad endpoints %d->%d", m.From, m.To))
+	}
+	switch m.Kind {
+	case Data:
+		t.stats.DataMessages.Add(1)
+		t.stats.DataBytes.Add(int64(m.Bytes))
+	case Control:
+		t.stats.ControlMessages.Add(1)
+		t.stats.ControlBytes.Add(int64(m.Bytes))
+	case Ack:
+		t.stats.AckMessages.Add(1)
+	}
+
+	t.inflightMu.Lock()
+	t.inflight++
+	t.inflightMu.Unlock()
+
+	l := t.lanes[int(m.From)*t.n+int(m.To)]
+	now := time.Now()
+	l.mu.Lock()
+	depart := now
+	if l.lastDepart.After(depart) {
+		depart = l.lastDepart
+	}
+	depart = depart.Add(t.latency.serialization(m.Bytes))
+	l.lastDepart = depart
+	l.q = append(l.q, timed{m, depart.Add(t.latency.Propagation)})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// deliver is the per-lane consumer: it sleeps until each message's delivery
+// time and invokes the receiver's handler, preserving FIFO order.
+func (t *Transport) deliver(l *lane) {
+	defer t.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.q) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		tm := l.q[0]
+		l.q = l.q[1:]
+		l.mu.Unlock()
+
+		if d := time.Until(tm.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+		if h := t.handlers[tm.msg.To]; h != nil {
+			h(tm.msg)
+		}
+
+		t.inflightMu.Lock()
+		t.inflight--
+		if t.inflight == 0 {
+			t.idleCond.Broadcast()
+		}
+		t.inflightMu.Unlock()
+	}
+}
+
+// WaitIdle blocks until no messages are in flight. Note that a handler may
+// inject new messages; callers are responsible for ensuring senders are
+// quiescent (e.g. all workers at a barrier) when using this for
+// termination decisions.
+func (t *Transport) WaitIdle() {
+	t.inflightMu.Lock()
+	for t.inflight > 0 {
+		t.idleCond.Wait()
+	}
+	t.inflightMu.Unlock()
+}
+
+// InFlight returns the number of undelivered messages.
+func (t *Transport) InFlight() int {
+	t.inflightMu.Lock()
+	defer t.inflightMu.Unlock()
+	return t.inflight
+}
+
+// Close drains all lanes and stops their goroutines. Sends after Close are
+// dropped.
+func (t *Transport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, l := range t.lanes {
+		l.mu.Lock()
+		l.closed = true
+		l.cond.Signal()
+		l.mu.Unlock()
+	}
+	t.wg.Wait()
+}

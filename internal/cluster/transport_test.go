@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendDeliversToHandler(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	got := make(chan Message, 1)
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) { got <- m })
+	tr.Send(Message{From: 0, To: 1, Kind: Data, Bytes: 100, Payload: "hi"})
+	select {
+	case m := <-got:
+		if m.Payload != "hi" || m.From != 0 {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestFIFOPerLane(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	tr.RegisterHandler(1, func(m Message) {
+		mu.Lock()
+		order = append(order, m.Payload.(int))
+		if len(order) == 1000 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 1000; i++ {
+		tr.Send(Message{From: 0, To: 1, Kind: Data, Payload: i})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all messages delivered")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: FIFO violated", i, v)
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	tr := New(2, LatencyModel{Propagation: 30 * time.Millisecond})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	got := make(chan time.Time, 1)
+	tr.RegisterHandler(1, func(m Message) { got <- time.Now() })
+	start := time.Now()
+	tr.Send(Message{From: 0, To: 1, Kind: Control})
+	at := <-got
+	if d := at.Sub(start); d < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~30ms", d)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 10 KB at 100 KB/s = 100ms serialization delay.
+	tr := New(2, LatencyModel{BytesPerSec: 100_000})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	got := make(chan time.Time, 2)
+	tr.RegisterHandler(1, func(m Message) { got <- time.Now() })
+	start := time.Now()
+	tr.Send(Message{From: 0, To: 1, Kind: Data, Bytes: 5000})
+	tr.Send(Message{From: 0, To: 1, Kind: Data, Bytes: 5000})
+	<-got
+	second := <-got
+	// The two messages need 100ms of combined serialization.
+	if d := second.Sub(start); d < 80*time.Millisecond {
+		t.Errorf("second message delivered after %v, want >= ~100ms", d)
+	}
+}
+
+func TestLatencyDoesNotSerializeAcrossLanes(t *testing.T) {
+	// Messages on distinct lanes should be delayed in parallel: total time
+	// for 4 lanes at 30ms each must be ~30ms, not 120ms.
+	tr := New(4, LatencyModel{Propagation: 30 * time.Millisecond})
+	defer tr.Close()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for w := 1; w < 4; w++ {
+		tr.RegisterHandler(WorkerID(w), func(m Message) { wg.Done() })
+	}
+	tr.RegisterHandler(0, func(m Message) {})
+	start := time.Now()
+	for w := 1; w < 4; w++ {
+		tr.Send(Message{From: 0, To: WorkerID(w), Kind: Control})
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("parallel lanes took %v, want ~30ms", d)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) {})
+	tr.Send(Message{From: 0, To: 1, Kind: Data, Bytes: 100})
+	tr.Send(Message{From: 0, To: 1, Kind: Data, Bytes: 50})
+	tr.Send(Message{From: 1, To: 0, Kind: Control, Bytes: 64})
+	tr.Send(Message{From: 1, To: 0, Kind: Ack, Bytes: 16})
+	tr.WaitIdle()
+	s := tr.Stats().Load()
+	if s.DataMessages != 2 || s.DataBytes != 150 {
+		t.Errorf("data stats %+v", s)
+	}
+	if s.ControlMessages != 1 || s.ControlBytes != 64 || s.AckMessages != 1 {
+		t.Errorf("control stats %+v", s)
+	}
+	if s.TotalMessages() != 4 {
+		t.Errorf("TotalMessages = %d", s.TotalMessages())
+	}
+	diff := tr.Stats().Load().Sub(s)
+	if diff.TotalMessages() != 0 {
+		t.Errorf("Sub of equal snapshots nonzero: %+v", diff)
+	}
+}
+
+func TestWaitIdle(t *testing.T) {
+	tr := New(2, LatencyModel{Propagation: 20 * time.Millisecond})
+	defer tr.Close()
+	var delivered atomic.Int32
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) { delivered.Add(1) })
+	for i := 0; i < 10; i++ {
+		tr.Send(Message{From: 0, To: 1, Kind: Data})
+	}
+	tr.WaitIdle()
+	if got := delivered.Load(); got != 10 {
+		t.Errorf("WaitIdle returned with %d/10 delivered", got)
+	}
+	if tr.InFlight() != 0 {
+		t.Errorf("InFlight = %d after WaitIdle", tr.InFlight())
+	}
+}
+
+func TestHandlerMaySend(t *testing.T) {
+	// Ping-pong through handlers must not deadlock.
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	done := make(chan struct{})
+	tr.RegisterHandler(0, func(m Message) {
+		if m.Payload.(int) >= 100 {
+			close(done)
+			return
+		}
+		tr.Send(Message{From: 0, To: 1, Kind: Control, Payload: m.Payload.(int) + 1})
+	})
+	tr.RegisterHandler(1, func(m Message) {
+		tr.Send(Message{From: 1, To: 0, Kind: Control, Payload: m.Payload.(int) + 1})
+	})
+	tr.Send(Message{From: 1, To: 0, Kind: Control, Payload: 0})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping-pong deadlocked")
+	}
+}
+
+func TestSendAfterCloseDropped(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) { t.Error("delivered after close") })
+	tr.Close()
+	tr.Send(Message{From: 0, To: 1, Kind: Data})
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestEndpointFlushWait(t *testing.T) {
+	tr := New(3, LatencyModel{Propagation: 10 * time.Millisecond})
+	defer tr.Close()
+	var received [3]atomic.Int32
+	var eps [3]*Endpoint
+	for w := 0; w < 3; w++ {
+		w := w
+		eps[w] = NewEndpoint(tr, WorkerID(w),
+			func(from WorkerID, payload any) { received[w].Add(int32(payload.(int))) },
+			nil)
+	}
+	for i := 0; i < 5; i++ {
+		eps[0].SendData(1, 1, 10)
+		eps[0].SendData(2, 1, 10)
+	}
+	eps[0].FlushWait([]WorkerID{0, 1, 2}) // self in targets is skipped
+	if received[1].Load() != 5 || received[2].Load() != 5 {
+		t.Errorf("flush acked before data applied: %d/%d",
+			received[1].Load(), received[2].Load())
+	}
+}
+
+func TestEndpointCtrlDispatch(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	gotCtrl := make(chan any, 1)
+	NewEndpoint(tr, 0, nil, nil)
+	e1ctrl := func(from WorkerID, payload any) { gotCtrl <- payload }
+	NewEndpoint(tr, 1, nil, e1ctrl)
+	tr.Send(Message{From: 0, To: 1, Kind: Control, Payload: "fork"})
+	select {
+	case p := <-gotCtrl:
+		if p != "fork" {
+			t.Errorf("payload = %v", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("control not dispatched")
+	}
+}
+
+func TestConcurrentSendersStress(t *testing.T) {
+	tr := New(4, LatencyModel{})
+	defer tr.Close()
+	var count atomic.Int64
+	for w := 0; w < 4; w++ {
+		tr.RegisterHandler(WorkerID(w), func(m Message) { count.Add(1) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					tr.Send(Message{From: WorkerID(w), To: WorkerID(i % 4), Kind: Data})
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	tr.WaitIdle()
+	if got := count.Load(); got != 4*4*500 {
+		t.Errorf("delivered %d of %d", got, 4*4*500)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) {})
+	tr.Close()
+	tr.Close() // second close must be a no-op
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	tr := New(1, LatencyModel{})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double register did not panic")
+		}
+	}()
+	tr.RegisterHandler(0, func(m Message) {})
+}
+
+func TestBadEndpointsPanic(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range destination did not panic")
+		}
+	}()
+	tr.Send(Message{From: 0, To: 9})
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Data: "data", Control: "control", Ack: "ack"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestSelfSendGoesThroughSimulatedPath(t *testing.T) {
+	tr := New(1, LatencyModel{})
+	defer tr.Close()
+	got := make(chan Message, 1)
+	tr.RegisterHandler(0, func(m Message) { got <- m })
+	tr.Send(Message{From: 0, To: 0, Kind: Data, Payload: 42})
+	select {
+	case m := <-got:
+		if m.Payload != 42 {
+			t.Errorf("payload = %v", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("self-send not delivered")
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runBAP executes the barrierless asynchronous parallel model of Giraph
+// Unchained [20], which the paper's "Giraph async" builds on: each worker
+// advances through its own logical supersteps with no global barriers,
+// idling only when it has no active vertices and waking when messages
+// arrive. Termination is global quiescence: every worker idle, nothing in
+// flight, and the execution counter stable across two observations — the
+// same detector the GAS engine uses.
+//
+// Partition-based locking composes with BAP naturally: the fork protocol
+// is already barrier-free, condition C1 comes from flush-before-handoff
+// plus FIFO delivery, and condition C2 from the forks themselves. Token
+// techniques are rejected for BAP because their correctness argument
+// (§4.2, §5.3) leans on superstep-aligned token rotation.
+func (r *runner[V, M]) runBAP(res *Result) {
+	var (
+		done     atomic.Bool
+		maxSteps atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *worker[V, M]) {
+			defer wg.Done()
+			th := &thread[V, M]{w: w}
+			step := 0
+			for !done.Load() {
+				if !w.anyActiveWorker() {
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				w.runLogicalSuperstep(th, step)
+				step++
+				for {
+					m := maxSteps.Load()
+					if int64(step) <= m || maxSteps.CompareAndSwap(m, int64(step)) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Quiescence detector.
+	var lastExec int64 = -1
+	for {
+		if int(maxSteps.Load()) >= r.cfg.MaxSupersteps {
+			break // runaway guard; Converged stays false
+		}
+		idle := r.tr.InFlight() == 0
+		if idle {
+			for _, w := range r.workers {
+				if w.anyActiveWorker() || w.pendingBuffered() {
+					idle = false
+					break
+				}
+			}
+		}
+		if idle {
+			if e := r.executions.Load(); e == lastExec {
+				res.Converged = true
+				break
+			} else {
+				lastExec = e
+			}
+		} else {
+			lastExec = -1
+			// Release any messages stranded in idle workers' buffers.
+			for _, w := range r.workers {
+				if w.pendingBuffered() {
+					w.buf.FlushAll()
+				}
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	done.Store(true)
+	wg.Wait()
+	res.Supersteps = int(maxSteps.Load())
+}
+
+// anyActiveWorker reports whether any owned vertex is active: not halted,
+// or holding unread messages.
+func (w *worker[V, M]) anyActiveWorker() bool {
+	return w.stores[0].NewCount() > 0 || w.unhalted.Load() > 0
+}
+
+// pendingBuffered reports whether outgoing messages are waiting in the
+// buffer cache.
+func (w *worker[V, M]) pendingBuffered() bool {
+	for dest := range w.r.workers {
+		if dest != w.id && w.buf.Pending(dest) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runLogicalSuperstep is one pass over the worker's partitions under BAP:
+// the same partition execution as the barriered engine, followed by a
+// flush, but with a per-worker superstep counter and no rendezvous.
+func (w *worker[V, M]) runLogicalSuperstep(th *thread[V, M], step int) {
+	th.superstep = step
+	queue := make(chan int, len(w.parts))
+	for i := range w.parts {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for t := 0; t < w.r.cfg.ThreadsPerWorker; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &thread[V, M]{w: w, superstep: step}
+			for i := range queue {
+				local.runPartition(w.parts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	w.buf.FlushAll()
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"testing"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/checkpoint"
+	"serialgraph/internal/generate"
+)
+
+// TestCheckpointRecovery simulates a mid-run cluster failure: a first run
+// checkpoints every 2 supersteps and is killed (MaxSupersteps) before
+// converging; a second run restores from the latest checkpoint and must
+// finish with exactly the reference answer.
+func TestCheckpointRecovery(t *testing.T) {
+	g := generate.PowerLaw(generate.PowerLawConfig{N: 500, AvgDegree: 4, Exponent: 2.2, Seed: 17})
+	want := algorithms.ShortestPaths(g, 0)
+	dir := t.TempDir()
+
+	base := Config{
+		Workers: 4, Mode: Async, Sync: PartitionLock, Seed: 5,
+		CheckpointEvery: 2, CheckpointDir: dir,
+	}
+
+	// Run 1: crash after 4 supersteps.
+	crashed := base
+	crashed.MaxSupersteps = 4
+	_, res1, _, err := Run(g, algorithms.SSSP(0), crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Converged {
+		t.Skip("graph too easy: converged before the injected crash")
+	}
+
+	latest, err := checkpoint.Latest(dir)
+	if err != nil || latest == "" {
+		t.Fatalf("no checkpoint found: %v", err)
+	}
+
+	// Run 2: restore and finish.
+	resumed := base
+	resumed.RestoreFrom = latest
+	dist, res2, _, err := Run(g, algorithms.SSSP(0), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, dist[v], want[v])
+		}
+	}
+	// The resumed run must not redo the completed supersteps.
+	if res2.Supersteps <= 2 {
+		t.Logf("resumed run took %d supersteps", res2.Supersteps)
+	}
+}
+
+// TestCheckpointRecoveryColoring exercises recovery with the Overwrite
+// store and fork state under partition locking.
+func TestCheckpointRecoveryColoring(t *testing.T) {
+	g0 := generate.PowerLaw(generate.PowerLawConfig{N: 400, AvgDegree: 5, Exponent: 2.1, Seed: 23})
+	g := undirected(g0)
+	dir := t.TempDir()
+	base := Config{
+		Workers: 4, Mode: Async, Sync: PartitionLock, Seed: 9,
+		CheckpointEvery: 1, CheckpointDir: dir,
+	}
+	crashed := base
+	crashed.MaxSupersteps = 1
+	_, res1, _, err := Run(g, algorithms.Coloring(), crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Converged {
+		t.Skip("converged in one superstep")
+	}
+	latest, err := checkpoint.Latest(dir)
+	if err != nil || latest == "" {
+		t.Fatalf("no checkpoint: %v", err)
+	}
+	resumed := base
+	resumed.RestoreFrom = latest
+	colors, res2, _, err := Run(g, algorithms.Coloring(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	if err := algorithms.ValidateColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	g := generate.Ring(10)
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, Mode: Async, CheckpointEvery: 1, CheckpointDir: dir, MaxSupersteps: 2}
+	if _, _, _, err := Run(g, algorithms.SSSP(0), cfg); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := checkpoint.Latest(dir)
+	if latest == "" {
+		t.Fatal("no checkpoint written")
+	}
+	// Restore onto a different graph size must fail loudly.
+	g2 := generate.Ring(20)
+	bad := Config{Workers: 2, Mode: Async, RestoreFrom: latest}
+	if _, _, _, err := Run(g2, algorithms.SSSP(0), bad); err == nil {
+		t.Error("mismatched restore succeeded")
+	}
+}

@@ -1,0 +1,217 @@
+// Package engine implements the Pregel-like computation engines: the BSP
+// model of §2.1 and the AP (Giraph async) model of §2.2, with
+// serializability available on the AP engine as a configurable option via
+// three synchronization techniques — single-layer token passing (§4.2),
+// dual-layer token passing (§5.3), and the paper's contribution,
+// partition-based distributed locking (§5.4). Vertex-based locking lives in
+// the GAS engine (package gas), mirroring the paper's observation that
+// GraphLab async, not Giraph, is the system suited to it.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"serialgraph/internal/cluster"
+	"serialgraph/internal/graph"
+	"serialgraph/internal/partition"
+)
+
+// Mode selects the computation model.
+type Mode uint8
+
+const (
+	// BSP delays all messages to the next superstep (§2.1).
+	BSP Mode = iota
+	// Async makes messages visible as soon as they arrive, within the same
+	// superstep (the AP model, §2.2). Local messages skip the buffer cache
+	// entirely (eager local replicas, §6.1). Supersteps keep global
+	// barriers.
+	Async
+	// BAP is the barrierless asynchronous parallel model of Giraph
+	// Unchained [20], which the paper's Giraph async builds on: per-worker
+	// logical supersteps, no global barriers, quiescence-based
+	// termination. Compatible with SyncNone and PartitionLock.
+	BAP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case BSP:
+		return "bsp"
+	case Async:
+		return "async"
+	case BAP:
+		return "bap"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Sync selects the synchronization technique layered on the engine.
+type Sync uint8
+
+const (
+	// SyncNone provides no serializability (plain Giraph / Giraph async).
+	SyncNone Sync = iota
+	// TokenSingle is single-layer token passing (§4.2): one global token
+	// rotates among workers, each worker computes with a single thread.
+	TokenSingle
+	// TokenDual is dual-layer token passing (§5.3): a global token among
+	// workers plus a local token among each worker's partitions.
+	TokenDual
+	// PartitionLock is partition-based distributed locking (§5.4):
+	// partitions are Chandy–Misra philosophers.
+	PartitionLock
+	// VertexLockGiraph is vertex-based distributed locking on the
+	// partition-aware engine: p-boundary vertices are philosophers and the
+	// heavy-weight partition thread blocks on every vertex's fork
+	// acquisition (§5.2). The paper measured this combination up to 44×
+	// slower than GraphLab async and excluded it from Figure 6; it exists
+	// here to reproduce that exclusion.
+	VertexLockGiraph
+)
+
+func (s Sync) String() string {
+	switch s {
+	case SyncNone:
+		return "none"
+	case TokenSingle:
+		return "token-single"
+	case TokenDual:
+		return "token-dual"
+	case PartitionLock:
+		return "partition-lock"
+	case VertexLockGiraph:
+		return "vertex-lock-giraph"
+	default:
+		return fmt.Sprintf("Sync(%d)", uint8(s))
+	}
+}
+
+// Serializable reports whether the technique provides serializability when
+// paired with the Async engine (Theorem 1 via §4.2, §5.3, §5.4).
+func (s Sync) Serializable() bool { return s != SyncNone }
+
+// Config parameterizes a run.
+type Config struct {
+	// Workers is the simulated cluster size. Default 1.
+	Workers int
+	// PartitionsPerWorker defaults to Workers, Giraph's default (§7.1).
+	PartitionsPerWorker int
+	// ThreadsPerWorker is the compute thread pool size per worker; default
+	// 4 (the paper's r3.xlarge instances have 4 vCPUs). TokenSingle forces
+	// 1 thread, as §4.2 requires.
+	ThreadsPerWorker int
+	// Mode selects BSP or Async. Serializability (Sync != SyncNone)
+	// requires Async (§4.1: synchronous models cannot update local
+	// replicas eagerly).
+	Mode Mode
+	// Sync selects the synchronization technique.
+	Sync Sync
+	// Latency is the simulated network model.
+	Latency cluster.LatencyModel
+	// BufferCap is the message buffer cache threshold in entries; default
+	// 512.
+	BufferCap int
+	// MaxSupersteps aborts runs that do not converge (e.g. BSP graph
+	// coloring, Figure 2); default 100000.
+	MaxSupersteps int
+	// Seed feeds hash partitioning.
+	Seed uint64
+	// Partitioner overrides hash partitioning when non-nil.
+	Partitioner func(g *graph.Graph, p, w int) *partition.Map
+	// TrackHistory attaches a transaction recorder for serializability
+	// checking (testing only; adds overhead).
+	TrackHistory bool
+	// CheckpointEvery takes a checkpoint after every k-th superstep when
+	// k > 0; CheckpointDir says where (§6.4).
+	CheckpointEvery int
+	CheckpointDir   string
+	// RestoreFrom resumes a run from a checkpoint file written by a
+	// previous run with identical Config, graph, and program.
+	RestoreFrom string
+	// DisableSenderCombine turns off sender-side combining, which is
+	// otherwise applied automatically for Combine-semantics programs
+	// (Giraph applies the user combiner in the buffer cache).
+	DisableSenderCombine bool
+	// DisableHaltedPartitionSkip turns off the §5.4 optimization of not
+	// acquiring forks for partitions whose vertices are all halted with no
+	// pending messages (for ablation).
+	DisableHaltedPartitionSkip bool
+	// DetailedStats records per-superstep durations and execution counts
+	// into Result.SuperstepStats.
+	DetailedStats bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.PartitionsPerWorker <= 0 {
+		c.PartitionsPerWorker = c.Workers
+	}
+	if c.ThreadsPerWorker <= 0 {
+		c.ThreadsPerWorker = 4
+	}
+	if c.Sync == TokenSingle {
+		c.ThreadsPerWorker = 1
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 512
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 100000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Mode == BSP && c.Sync != SyncNone {
+		return fmt.Errorf("engine: %v requires the Async mode: synchronous models cannot update local replicas eagerly (§4.1)", c.Sync)
+	}
+	if c.Mode == BAP {
+		if c.Sync == TokenSingle || c.Sync == TokenDual {
+			return fmt.Errorf("engine: %v requires superstep-aligned token rotation; BAP has no global supersteps", c.Sync)
+		}
+		if c.CheckpointEvery > 0 || c.RestoreFrom != "" {
+			return fmt.Errorf("engine: checkpointing requires global barriers; BAP has none")
+		}
+	}
+	return nil
+}
+
+// Result reports what a run did.
+type Result struct {
+	// Converged is true when every vertex halted with no pending messages,
+	// false when MaxSupersteps was hit first.
+	Converged bool
+	// Supersteps executed (BSP/Async engines).
+	Supersteps int
+	// Executions is the total number of vertex executions (transactions).
+	Executions int64
+	// ComputeTime excludes graph loading and partitioning, matching the
+	// paper's "computation time" metric (§7.3).
+	ComputeTime time.Duration
+	// Net is the network traffic of the run.
+	Net cluster.Snapshot
+	// Forks/Tokens are Chandy–Misra exchanges (PartitionLock and the GAS
+	// engine only).
+	ForkSends, TokenSends int64
+	// Partitions is the total partition count used.
+	Partitions int
+	// MaxConcurrency is the peak number of concurrently executing
+	// partitions observed (used for the Figure 1 spectrum experiment).
+	MaxConcurrency int64
+	// SuperstepStats holds per-superstep detail when
+	// Config.DetailedStats is set.
+	SuperstepStats []SuperstepStat
+}
+
+// SuperstepStat is per-superstep detail for Result.SuperstepStats.
+type SuperstepStat struct {
+	Duration   time.Duration
+	Executions int64
+	DataMsgs   int64
+	CtrlMsgs   int64
+}

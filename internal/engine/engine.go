@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"serialgraph/internal/checkpoint"
+	"serialgraph/internal/msgstore"
+
+	"serialgraph/internal/cluster"
+	"serialgraph/internal/graph"
+	"serialgraph/internal/history"
+	"serialgraph/internal/model"
+	"serialgraph/internal/partition"
+)
+
+// runner holds the state shared by the master and all workers of one run.
+type runner[V, M any] struct {
+	g    *graph.Graph
+	prog model.Program[V, M]
+	cfg  Config
+	pm   *partition.Map
+	tr   *cluster.Transport
+
+	workers []*worker[V, M]
+
+	// values is the primary copy of every vertex value; each slot is
+	// written only by executions of its vertex, which the engine (and the
+	// synchronization technique) never runs concurrently with itself.
+	values []V
+	halted []bool
+
+	// classes is computed for token techniques only (§5.3).
+	classes []partition.Class
+
+	// versions tracks per-vertex write versions when history is recorded.
+	versions []atomic.Uint32
+	rec      *history.Recorder
+
+	executions  atomic.Int64
+	concurrency atomic.Int64
+	maxConc     atomic.Int64
+}
+
+// Run executes prog over g under cfg and returns the final vertex values.
+// When cfg.TrackHistory is set, the returned recorder holds the
+// transaction log for serializability checking.
+func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, Result, *history.Recorder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, Result{}, nil, err
+	}
+
+	p := cfg.Workers * cfg.PartitionsPerWorker
+	var pm *partition.Map
+	if cfg.Partitioner != nil {
+		pm = cfg.Partitioner(g, p, cfg.Workers)
+	} else {
+		pm = partition.NewHash(g, p, cfg.Workers, cfg.Seed)
+	}
+
+	r := &runner[V, M]{g: g, prog: prog, cfg: cfg, pm: pm}
+	n := g.NumVertices()
+	r.values = make([]V, n)
+	r.halted = make([]bool, n)
+	if prog.Init != nil {
+		for v := 0; v < n; v++ {
+			r.values[v] = prog.Init(graph.VertexID(v), g)
+		}
+	}
+	if cfg.TrackHistory {
+		r.versions = make([]atomic.Uint32, n)
+		r.rec = history.NewRecorder()
+	}
+	if cfg.Sync == TokenSingle || cfg.Sync == TokenDual {
+		r.classes = partition.Classify(g, pm)
+	}
+	r.tr = cluster.New(cfg.Workers, cfg.Latency)
+	defer r.tr.Close()
+
+	var partNeighbors [][]partition.ID
+	if cfg.Sync == PartitionLock {
+		partNeighbors = pm.Neighbors(g)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		r.workers = append(r.workers, newWorker(r, w))
+	}
+	switch cfg.Sync {
+	case PartitionLock:
+		for _, w := range r.workers {
+			w.initLockManager(partNeighbors)
+		}
+	case VertexLockGiraph:
+		for _, w := range r.workers {
+			w.initVertexLockManager()
+		}
+	}
+	startSuperstep := 0
+	if cfg.RestoreFrom != "" {
+		s0, err := r.restore(cfg.RestoreFrom)
+		if err != nil {
+			r.tr.Close()
+			return nil, Result{}, nil, err
+		}
+		startSuperstep = s0
+	}
+	start := time.Now()
+	res := Result{Partitions: p}
+	if cfg.Mode == BAP {
+		r.runBAP(&res)
+		res.ComputeTime = time.Since(start)
+		res.Net = r.tr.Stats().Load()
+		res.Executions = r.executions.Load()
+		res.MaxConcurrency = r.maxConc.Load()
+		for _, w := range r.workers {
+			close(w.startCh)
+			if w.mgr != nil {
+				st := w.mgr.Stats()
+				res.ForkSends += st.ForkSends
+				res.TokenSends += st.TokenSends
+			}
+		}
+		return r.values, res, r.rec, nil
+	}
+	for _, w := range r.workers {
+		go w.loop()
+	}
+	for s := startSuperstep; s < cfg.MaxSupersteps; s++ {
+		stepStart := time.Now()
+		execsBefore := r.executions.Load()
+		netBefore := r.tr.Stats().Load()
+		for _, w := range r.workers {
+			w.startCh <- s
+		}
+		for _, w := range r.workers {
+			<-w.doneCh
+		}
+		r.tr.WaitIdle()
+		res.Supersteps = s + 1
+		if cfg.DetailedStats {
+			net := r.tr.Stats().Load().Sub(netBefore)
+			res.SuperstepStats = append(res.SuperstepStats, SuperstepStat{
+				Duration:   time.Since(stepStart),
+				Executions: r.executions.Load() - execsBefore,
+				DataMsgs:   net.DataMessages,
+				CtrlMsgs:   net.ControlMessages,
+			})
+		}
+
+		merged := r.mergeAggregators()
+		if cfg.Mode == BSP {
+			for _, w := range r.workers {
+				w.swapStores()
+			}
+		}
+
+		unhalted := 0
+		for v := 0; v < n; v++ {
+			if !r.halted[v] {
+				unhalted++
+			}
+		}
+		var pending int64
+		for _, w := range r.workers {
+			pending += w.pendingMessages()
+		}
+		if err := r.applyMutations(); err != nil {
+			r.shutdownWorkers()
+			return nil, Result{}, nil, err
+		}
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointDir != "" && (s+1)%cfg.CheckpointEvery == 0 {
+			if err := r.takeCheckpoint(s); err != nil {
+				r.shutdownWorkers()
+				return nil, Result{}, nil, err
+			}
+		}
+		if unhalted == 0 && pending == 0 {
+			res.Converged = true
+			break
+		}
+		if r.prog.MasterHalt != nil && r.prog.MasterHalt(s, merged) {
+			res.Converged = true
+			break
+		}
+	}
+	res.ComputeTime = time.Since(start)
+	res.Net = r.tr.Stats().Load()
+	res.Executions = r.executions.Load()
+	res.MaxConcurrency = r.maxConc.Load()
+	for _, w := range r.workers {
+		if w.mgr != nil {
+			st := w.mgr.Stats()
+			res.ForkSends += st.ForkSends
+			res.TokenSends += st.TokenSends
+		}
+	}
+	r.shutdownWorkers()
+	return r.values, res, r.rec, nil
+}
+
+// applyMutations rebuilds the graph and message stores if any worker
+// collected topology mutation requests this superstep. Runs at the barrier
+// while the cluster is quiescent. Mutations require SyncNone: the fork
+// topology and vertex classifications of the serializable techniques
+// assume a static graph (§3's read sets are fixed a priori).
+func (r *runner[V, M]) applyMutations() error {
+	var adds []graph.Edge
+	removes := make(map[edgeKey]struct{})
+	for _, w := range r.workers {
+		w.mutMu.Lock()
+		adds = append(adds, w.mutAdds...)
+		for _, k := range w.mutRemoves {
+			removes[k] = struct{}{}
+		}
+		w.mutAdds, w.mutRemoves = nil, nil
+		w.mutMu.Unlock()
+	}
+	if len(adds) == 0 && len(removes) == 0 {
+		return nil
+	}
+	if r.cfg.Sync != SyncNone {
+		return fmt.Errorf("engine: topology mutations require SyncNone; %v assumes a static graph", r.cfg.Sync)
+	}
+
+	present := make(map[edgeKey]struct{}, r.g.NumEdges())
+	var edges []graph.Edge
+	for _, e := range r.g.Edges() {
+		k := edgeKey{e.Src, e.Dst}
+		if _, gone := removes[k]; gone {
+			continue
+		}
+		if _, dup := present[k]; dup {
+			continue
+		}
+		present[k] = struct{}{}
+		edges = append(edges, e)
+	}
+	weighted := r.g.Weighted()
+	for _, e := range adds {
+		k := edgeKey{e.Src, e.Dst}
+		if _, gone := removes[k]; gone {
+			continue // removals win within the same superstep
+		}
+		if _, dup := present[k]; dup {
+			continue
+		}
+		present[k] = struct{}{}
+		edges = append(edges, e)
+		weighted = weighted || e.Weight != 1
+	}
+	r.g = graph.NewFromEdges(r.g.NumVertices(), edges, weighted)
+
+	// Rebuild the message stores against the new in-adjacency, dropping
+	// Overwrite slots whose edge no longer exists.
+	for _, w := range r.workers {
+		for i, st := range w.stores {
+			if st == nil {
+				continue
+			}
+			entries := st.Dump()
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.Src >= 0 && !r.g.HasEdge(e.Src, e.Dst) {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			var owned []graph.VertexID
+			for _, p := range w.parts {
+				owned = append(owned, r.pm.Vertices(p)...)
+			}
+			ns := msgstore.New[M](r.g, owned, r.prog.Semantics, r.prog.Combine)
+			ns.Load(kept)
+			w.stores[i] = ns
+		}
+	}
+	return nil
+}
+
+func (r *runner[V, M]) shutdownWorkers() {
+	for _, w := range r.workers {
+		close(w.startCh)
+	}
+}
+
+// takeCheckpoint snapshots the run after superstep s completed. The master
+// calls it at the barrier, when no vertices execute and the transport is
+// idle, so the captured state is consistent (§6.4).
+func (r *runner[V, M]) takeCheckpoint(s int) error {
+	snap := &checkpoint.Snapshot[V, M]{
+		Superstep: s,
+		Values:    append([]V(nil), r.values...),
+		Halted:    append([]bool(nil), r.halted...),
+		AggPrev:   r.workers[0].aggPrev,
+	}
+	for _, w := range r.workers {
+		snap.Stores = append(snap.Stores, w.readStore().Dump())
+		if w.mgr != nil {
+			snap.Forks = append(snap.Forks, w.mgr.Export())
+		}
+	}
+	return checkpoint.Save(checkpoint.Path(r.cfg.CheckpointDir, s), snap)
+}
+
+// restore loads a checkpoint and reinstates values, halt flags, message
+// stores, aggregators, and fork state. Returns the superstep to resume at.
+func (r *runner[V, M]) restore(path string) (int, error) {
+	snap, err := checkpoint.Load[V, M](path)
+	if err != nil {
+		return 0, err
+	}
+	if len(snap.Values) != len(r.values) {
+		return 0, fmt.Errorf("engine: checkpoint has %d vertices, graph has %d", len(snap.Values), len(r.values))
+	}
+	if len(snap.Stores) != len(r.workers) {
+		return 0, fmt.Errorf("engine: checkpoint has %d workers, config has %d", len(snap.Stores), len(r.workers))
+	}
+	copy(r.values, snap.Values)
+	copy(r.halted, snap.Halted)
+	for i, w := range r.workers {
+		w.readStore().Load(snap.Stores[i])
+		w.aggPrev = snap.AggPrev
+		if w.mgr != nil && i < len(snap.Forks) {
+			w.mgr.Import(snap.Forks[i])
+		}
+	}
+	return snap.Superstep + 1, nil
+}
+
+// tokenState reports the token positions at superstep s. Under TokenSingle
+// the global token rotates among workers every superstep (§4.2). Under
+// TokenDual every worker's local token steps through its partitions each
+// superstep while the global token stays with one worker for
+// PartitionsPerWorker consecutive supersteps (§5.3), so every mixed
+// boundary vertex of the holder gets a superstep with both tokens.
+// Partition placement is round-robin, so every worker owns exactly
+// PartitionsPerWorker partitions and the schedule is uniform.
+func (r *runner[V, M]) tokenState(s int) (globalHolder, localIdx int) {
+	switch r.cfg.Sync {
+	case TokenSingle:
+		return s % r.cfg.Workers, -1
+	case TokenDual:
+		k := r.cfg.PartitionsPerWorker
+		return (s / k) % r.cfg.Workers, s % k
+	default:
+		return -1, -1
+	}
+}
+
+func (r *runner[V, M]) mergeAggregators() map[string]float64 {
+	merged := make(map[string]float64)
+	for _, w := range r.workers {
+		for k, v := range w.aggLocal {
+			merged[k] += v
+		}
+		w.aggLocal = make(map[string]float64)
+	}
+	for _, w := range r.workers {
+		w.aggPrev = merged
+	}
+	return merged
+}
+
+// noteUnitStart/End track how many partitions execute concurrently.
+func (r *runner[V, M]) noteUnitStart() {
+	c := r.concurrency.Add(1)
+	for {
+		m := r.maxConc.Load()
+		if c <= m || r.maxConc.CompareAndSwap(m, c) {
+			break
+		}
+	}
+}
+
+func (r *runner[V, M]) noteUnitEnd() { r.concurrency.Add(-1) }

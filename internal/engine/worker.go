@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"serialgraph/internal/chandy"
+	"serialgraph/internal/cluster"
+	"serialgraph/internal/graph"
+	"serialgraph/internal/history"
+	"serialgraph/internal/model"
+	"serialgraph/internal/msgstore"
+	"serialgraph/internal/partition"
+)
+
+// worker simulates one machine: it owns PartitionsPerWorker partitions, a
+// message store, a buffer cache for outgoing remote messages, and (under
+// PartitionLock) a Chandy–Misra manager for its partitions.
+type worker[V, M any] struct {
+	r     *runner[V, M]
+	id    int
+	parts []partition.ID
+
+	// stores[active] receives reads; under BSP, writes target
+	// stores[1-active] and the master swaps between supersteps. Under
+	// Async there is a single store at index 0.
+	stores   [2]*msgstore.Store[M]
+	active   atomic.Int32
+	buf      *msgstore.Buffer[M]
+	ep       *cluster.Endpoint
+	mgr      *chandy.Manager
+	otherWks []cluster.WorkerID
+
+	aggMu    sync.Mutex
+	aggLocal map[string]float64
+	aggPrev  map[string]float64
+
+	mutMu      sync.Mutex
+	mutAdds    []graph.Edge
+	mutRemoves []edgeKey
+
+	// unhalted counts owned vertices that have not voted to halt; BAP's
+	// activity and quiescence checks read it without touching the halted
+	// slice from other goroutines.
+	unhalted atomic.Int64
+
+	startCh chan int
+	doneCh  chan struct{}
+}
+
+func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
+	w := &worker[V, M]{
+		r: r, id: id,
+		parts:    r.pm.PartitionsOfWorker(id),
+		aggLocal: make(map[string]float64),
+		aggPrev:  make(map[string]float64),
+		startCh:  make(chan int),
+		doneCh:   make(chan struct{}),
+	}
+	var owned []graph.VertexID
+	for _, p := range w.parts {
+		owned = append(owned, r.pm.Vertices(p)...)
+	}
+	w.unhalted.Store(int64(len(owned)))
+	w.stores[0] = msgstore.New(r.g, owned, r.prog.Semantics, r.prog.Combine)
+	if r.cfg.Mode == BSP {
+		w.stores[1] = msgstore.New(r.g, owned, r.prog.Semantics, r.prog.Combine)
+	}
+	for o := 0; o < r.cfg.Workers; o++ {
+		if o != id {
+			w.otherWks = append(w.otherWks, cluster.WorkerID(o))
+		}
+	}
+	w.buf = msgstore.NewBuffer[M](r.cfg.Workers, r.cfg.BufferCap, r.prog.MsgBytes,
+		cluster.BatchHeaderBytes, cluster.EntryHeaderBytes,
+		func(dest int, batch []msgstore.Entry[M], bytes int) {
+			w.ep.SendData(cluster.WorkerID(dest), batch, bytes)
+		})
+	if r.prog.Semantics == model.Combine && r.prog.Combine != nil && !r.cfg.DisableSenderCombine {
+		// Giraph applies the user combiner inside the buffer cache too, so
+		// a hub vertex receives one combined message per sending worker.
+		w.buf.SetCombiner(r.prog.Combine)
+	}
+	w.ep = cluster.NewEndpoint(r.tr, cluster.WorkerID(id), w.onData, w.onCtrl)
+	return w
+}
+
+// initLockManager sets up partition philosophers (§5.4). preHandoff flushes
+// this worker's buffered remote replica updates to the fork's destination
+// worker; per-lane FIFO then guarantees the data precedes the fork,
+// enforcing condition C1 for the requesting partition.
+func (w *worker[V, M]) initLockManager(partNeighbors [][]partition.ID) {
+	ownerOf := func(p chandy.PhilID) int { return w.r.pm.WorkerOfPartition(partition.ID(p)) }
+	sendCtrl := func(toWorker int, c chandy.Ctrl) {
+		w.ep.SendCtrl(cluster.WorkerID(toWorker), c)
+	}
+	preHandoff := func(toWorker int) { w.buf.FlushTo(toWorker) }
+	w.mgr = chandy.NewManager(w.id, ownerOf, sendCtrl, preHandoff)
+	for _, p := range w.parts {
+		nbs := make([]chandy.PhilID, 0, len(partNeighbors[p]))
+		for _, q := range partNeighbors[p] {
+			nbs = append(nbs, chandy.PhilID(q))
+		}
+		w.mgr.AddPhil(chandy.PhilID(p), nbs)
+	}
+}
+
+// initVertexLockManager sets up per-vertex philosophers for the
+// Giraph-async + vertex-based locking combination the paper excludes for
+// poor performance (§5.2, §7). Only p-boundary vertices need forks:
+// p-internal vertices are serialized by their partition's sequential
+// execution.
+func (w *worker[V, M]) initVertexLockManager() {
+	ownerOf := func(p chandy.PhilID) int { return w.r.pm.WorkerOf(graph.VertexID(p)) }
+	sendCtrl := func(toWorker int, c chandy.Ctrl) {
+		w.ep.SendCtrl(cluster.WorkerID(toWorker), c)
+	}
+	preHandoff := func(toWorker int) { w.buf.FlushTo(toWorker) }
+	w.mgr = chandy.NewManager(w.id, ownerOf, sendCtrl, preHandoff)
+	for _, p := range w.parts {
+		for _, v := range w.r.pm.Vertices(p) {
+			if !partition.IsPBoundary(w.r.g, w.r.pm, v) {
+				continue
+			}
+			var nbs []chandy.PhilID
+			myPart := w.r.pm.PartitionOf(v)
+			w.r.g.Neighbors(v, func(x graph.VertexID) {
+				if w.r.pm.PartitionOf(x) != myPart && partition.IsPBoundary(w.r.g, w.r.pm, x) {
+					nbs = append(nbs, chandy.PhilID(x))
+				}
+			})
+			w.mgr.AddPhil(chandy.PhilID(v), nbs)
+		}
+	}
+}
+
+// onData applies an arriving batch of remote vertex messages. Under BSP the
+// batch targets the next superstep's store; under Async the live store, so
+// recipients can read it within the same superstep (the AP model).
+func (w *worker[V, M]) onData(from cluster.WorkerID, payload any) {
+	batch := payload.([]msgstore.Entry[M])
+	st := w.writeStore()
+	for _, e := range batch {
+		st.Put(e.Dst, e.Src, e.Msg, e.Ver)
+	}
+}
+
+func (w *worker[V, M]) onCtrl(from cluster.WorkerID, payload any) {
+	switch c := payload.(type) {
+	case chandy.Ctrl:
+		w.mgr.HandleCtrl(c)
+	default:
+		panic("engine: unexpected control payload")
+	}
+}
+
+func (w *worker[V, M]) readStore() *msgstore.Store[M] { return w.stores[w.active.Load()] }
+
+func (w *worker[V, M]) writeStore() *msgstore.Store[M] {
+	if w.r.cfg.Mode == BSP {
+		return w.stores[1-w.active.Load()]
+	}
+	return w.stores[0]
+}
+
+// swapStores flips current/next between BSP supersteps. The outgoing
+// current store is cleared: BSP messages are visible for exactly one
+// superstep. Called by the master while the cluster is quiescent.
+func (w *worker[V, M]) swapStores() {
+	w.readStore().Clear()
+	w.active.Store(1 - w.active.Load())
+}
+
+func (w *worker[V, M]) pendingMessages() int64 {
+	n := w.stores[0].NewCount()
+	if w.stores[1] != nil {
+		n += w.stores[1].NewCount()
+	}
+	return n
+}
+
+// loop is the worker's main goroutine: one superstep per master signal.
+func (w *worker[V, M]) loop() {
+	for s := range w.startCh {
+		w.runSuperstep(s)
+		w.doneCh <- struct{}{}
+	}
+}
+
+func (w *worker[V, M]) runSuperstep(s int) {
+	queue := make(chan partition.ID, len(w.parts))
+	for _, p := range w.parts {
+		queue <- p
+	}
+	close(queue)
+
+	var wg sync.WaitGroup
+	for t := 0; t < w.r.cfg.ThreadsPerWorker; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := &thread[V, M]{w: w, superstep: s}
+			for p := range queue {
+				th.runPartition(p)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// End-of-superstep flush (§6.1): push out all remaining buffered
+	// remote messages. Token techniques additionally await delivery
+	// confirmations before the token moves on (§4.2, §6.2); locking
+	// techniques rely on FIFO-before-fork flushes mid-superstep and only
+	// need the data on the wire before the barrier.
+	w.buf.FlushAll()
+	if w.r.cfg.Sync == TokenSingle || w.r.cfg.Sync == TokenDual {
+		w.ep.FlushWait(w.otherWks)
+	}
+}
+
+// thread is per-compute-thread scratch state.
+type thread[V, M any] struct {
+	w         *worker[V, M]
+	superstep int
+	reader    msgstore.Reader[M]
+	ctx       vctx[V, M]
+}
+
+// runPartition executes the partition's active vertices under the
+// configured synchronization technique.
+func (t *thread[V, M]) runPartition(p partition.ID) {
+	w := t.w
+	r := w.r
+	verts := r.pm.Vertices(p)
+	// Concurrency is tracked at partition granularity: a partition's
+	// execution (a "meal" under locking) is the unit whose overlap defines
+	// the parallelism axis of Figure 1.
+	r.noteUnitStart()
+	defer r.noteUnitEnd()
+
+	switch r.cfg.Sync {
+	case PartitionLock:
+		// Skip optimization (§5.4): halted partitions with no pending
+		// messages acquire nothing and send nothing.
+		if !r.cfg.DisableHaltedPartitionSkip && !t.anyActive(verts) {
+			return
+		}
+		w.mgr.Acquire(chandy.PhilID(p))
+		t.executeVertices(verts, nil)
+		w.mgr.Release(chandy.PhilID(p))
+	case TokenSingle:
+		holder, _ := r.tokenState(t.superstep)
+		allowed := func(v graph.VertexID) bool {
+			c := r.classes[v]
+			if c == partition.RemoteBoundary || c == partition.MixedBoundary {
+				return holder == w.id
+			}
+			return true // m-internal vertices always run (§4.2)
+		}
+		t.executeVertices(verts, allowed)
+	case TokenDual:
+		holder, localIdx := r.tokenState(t.superstep)
+		myLocalIdx := indexOf(w.parts, p)
+		allowed := func(v graph.VertexID) bool {
+			switch r.classes[v] {
+			case partition.PInternal:
+				return true
+			case partition.LocalBoundary:
+				return myLocalIdx == localIdx
+			case partition.RemoteBoundary:
+				return holder == w.id
+			default: // MixedBoundary
+				return holder == w.id && myLocalIdx == localIdx
+			}
+		}
+		t.executeVertices(verts, allowed)
+	case VertexLockGiraph:
+		// The heavy-weight partition thread blocks on every p-boundary
+		// vertex's fork acquisition — the behavior §5.2 identifies as this
+		// combination's downfall.
+		st := w.readStore()
+		for _, v := range verts {
+			if r.halted[v] && !st.HasNew(v) {
+				continue
+			}
+			if partition.IsPBoundary(r.g, r.pm, v) {
+				w.mgr.Acquire(chandy.PhilID(v))
+				t.executeVertex(v, st)
+				w.mgr.Release(chandy.PhilID(v))
+			} else {
+				t.executeVertex(v, st)
+			}
+		}
+	default: // SyncNone
+		t.executeVertices(verts, nil)
+	}
+}
+
+func indexOf(parts []partition.ID, p partition.ID) int {
+	for i, q := range parts {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *thread[V, M]) anyActive(verts []graph.VertexID) bool {
+	st := t.w.readStore()
+	for _, v := range verts {
+		if !t.w.r.halted[v] || st.HasNew(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// executeVertices runs every active (and allowed) vertex of a partition
+// sequentially, which is how partition-aware systems execute (§5.1).
+func (t *thread[V, M]) executeVertices(verts []graph.VertexID, allowed func(graph.VertexID) bool) {
+	r := t.w.r
+	st := t.w.readStore()
+	for _, v := range verts {
+		if allowed != nil && !allowed(v) {
+			continue
+		}
+		if r.halted[v] && !st.HasNew(v) {
+			continue
+		}
+		t.executeVertex(v, st)
+	}
+}
+
+// executeVertex runs one transaction T(Nv): read own value and the
+// in-neighbor replicas (messages), compute, write back.
+func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
+	r := t.w.r
+	r.executions.Add(1)
+
+	var txn history.Txn
+	if r.rec != nil {
+		txn.Vertex = v
+		txn.Start = r.rec.Tick()
+		txn.ReadVer = r.versions[v].Load()
+	}
+
+	st.Read(v, &t.reader)
+
+	if r.rec != nil {
+		for i, src := range t.reader.Srcs {
+			txn.Reads = append(txn.Reads, history.Read{
+				Src:        src,
+				SlotVer:    t.reader.Vers[i],
+				PrimaryVer: r.versions[src].Load(),
+			})
+		}
+	}
+
+	t.ctx = vctx[V, M]{w: t.w, superstep: t.superstep, id: v}
+	r.prog.Compute(&t.ctx, t.reader.Msgs)
+	if r.halted[v] != t.ctx.votedHalt {
+		if t.ctx.votedHalt {
+			t.w.unhalted.Add(-1)
+		} else {
+			t.w.unhalted.Add(1)
+		}
+		r.halted[v] = t.ctx.votedHalt
+	}
+
+	if r.rec != nil {
+		txn.End = r.rec.Tick()
+		txn.Wrote = t.ctx.wrote
+		txn.WriteVer = r.versions[v].Load()
+		r.rec.Append(txn)
+	}
+}
+
+// vctx implements model.Context for one vertex execution.
+type vctx[V, M any] struct {
+	w         *worker[V, M]
+	superstep int
+	id        graph.VertexID
+	votedHalt bool
+	wrote     bool
+}
+
+func (c *vctx[V, M]) Superstep() int                 { return c.superstep }
+func (c *vctx[V, M]) ID() graph.VertexID             { return c.id }
+func (c *vctx[V, M]) Value() V                       { return c.w.r.values[c.id] }
+func (c *vctx[V, M]) OutNeighbors() []graph.VertexID { return c.w.r.g.OutNeighbors(c.id) }
+func (c *vctx[V, M]) OutWeights() []float64          { return c.w.r.g.OutWeights(c.id) }
+func (c *vctx[V, M]) NumVertices() int               { return c.w.r.g.NumVertices() }
+func (c *vctx[V, M]) VoteToHalt()                    { c.votedHalt = true }
+
+func (c *vctx[V, M]) SetValue(v V) {
+	c.w.r.values[c.id] = v
+	c.wrote = true
+	if c.w.r.versions != nil {
+		c.w.r.versions[c.id].Add(1)
+	}
+}
+
+func (c *vctx[V, M]) Send(dst graph.VertexID, m M) {
+	r := c.w.r
+	var ver uint32
+	if r.versions != nil {
+		ver = r.versions[c.id].Load()
+	}
+	if r.pm.WorkerOf(dst) == c.w.id {
+		// Local message: eager delivery, skipping the buffer cache (§6.1).
+		// Under BSP this targets the next store, keeping it invisible
+		// until the next superstep.
+		c.w.writeStore().Put(dst, c.id, m, ver)
+		return
+	}
+	c.w.buf.Add(r.pm.WorkerOf(dst), msgstore.Entry[M]{Dst: dst, Src: c.id, Msg: m, Ver: ver})
+}
+
+func (c *vctx[V, M]) SendToAllOut(m M) {
+	for _, dst := range c.w.r.g.OutNeighbors(c.id) {
+		c.Send(dst, m)
+	}
+}
+
+func (c *vctx[V, M]) Aggregate(name string, v float64) {
+	c.w.aggMu.Lock()
+	c.w.aggLocal[name] += v
+	c.w.aggMu.Unlock()
+}
+
+func (c *vctx[V, M]) Aggregated(name string) float64 {
+	return c.w.aggPrev[name]
+}
+
+// Topology mutation support (Pregel's graph mutation API). Requests are
+// buffered per worker and applied by the master at the barrier.
+
+type edgeKey struct{ src, dst graph.VertexID }
+
+func (w *worker[V, M]) addMutation(add *graph.Edge, remove *edgeKey) {
+	if w.r.cfg.Mode == BAP {
+		panic("engine: topology mutations require global barriers; BAP has none")
+	}
+	w.mutMu.Lock()
+	if add != nil {
+		w.mutAdds = append(w.mutAdds, *add)
+	}
+	if remove != nil {
+		w.mutRemoves = append(w.mutRemoves, *remove)
+	}
+	w.mutMu.Unlock()
+}
+
+func (c *vctx[V, M]) AddEdgeRequest(src, dst graph.VertexID, wt float64) {
+	n := graph.VertexID(c.w.r.g.NumVertices())
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic("engine: AddEdgeRequest endpoints out of range")
+	}
+	c.w.addMutation(&graph.Edge{Src: src, Dst: dst, Weight: wt}, nil)
+}
+
+func (c *vctx[V, M]) RemoveEdgeRequest(src, dst graph.VertexID) {
+	c.w.addMutation(nil, &edgeKey{src, dst})
+}

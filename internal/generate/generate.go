@@ -1,0 +1,233 @@
+// Package generate produces seeded synthetic graphs that stand in for the
+// paper's real-world datasets (Table 1). All generators are deterministic
+// for a given seed so that experiments are reproducible run-to-run.
+//
+// The evaluation graphs (com-Orkut, arabic-2005, twitter-2010, uk-2007-05)
+// all follow power-law degree distributions with very large maximum degrees;
+// PowerLaw (a Chung–Lu style model) reproduces that skew, and RMAT provides
+// a second heavy-tailed family with community structure.
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serialgraph/internal/graph"
+)
+
+// PowerLawConfig parameterizes the Chung–Lu style generator.
+type PowerLawConfig struct {
+	N         int     // number of vertices
+	AvgDegree float64 // target average out-degree
+	Exponent  float64 // power-law exponent (typically 2.0–2.5; smaller = more skew)
+	MaxDegree int     // cap on expected degree (0 = n-1)
+	Seed      int64
+}
+
+// PowerLaw generates a directed graph whose out-degree sequence follows a
+// power law: vertex i gets expected weight proportional to
+// (i+1)^(-1/(Exponent-1)), normalized to AvgDegree, then that many random
+// out-edges are sampled with endpoints drawn from the same weight
+// distribution (preferential targets), yielding heavy-tailed in-degrees too.
+func PowerLaw(cfg PowerLawConfig) *graph.Graph {
+	if cfg.N <= 1 {
+		panic("generate: PowerLaw needs N > 1")
+	}
+	if cfg.Exponent <= 1 {
+		panic("generate: PowerLaw needs Exponent > 1")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	maxDeg := cfg.MaxDegree
+	if maxDeg <= 0 || maxDeg > n-1 {
+		maxDeg = n - 1
+	}
+
+	// Chung–Lu weights w_i = c * (i+i0)^(-gamma) with gamma = 1/(exp-1).
+	gamma := 1 / (cfg.Exponent - 1)
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -gamma)
+		sum += w[i]
+	}
+	scale := cfg.AvgDegree * float64(n) / sum
+	cum := make([]float64, n+1)
+	for i := range w {
+		w[i] *= scale
+		if w[i] > float64(maxDeg) {
+			w[i] = float64(maxDeg)
+		}
+		cum[i+1] = cum[i] + w[i]
+	}
+	total := cum[n]
+
+	// pick samples a vertex with probability proportional to its weight.
+	pick := func() graph.VertexID {
+		x := r.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VertexID(lo)
+	}
+
+	b := graph.NewBuilder(n)
+	dedup := newEdgeSet(b)
+	perm := r.Perm(n) // shuffle so heavy vertices are not clustered at low IDs
+	for i := 0; i < n; i++ {
+		deg := int(w[i])
+		if r.Float64() < w[i]-float64(deg) {
+			deg++
+		}
+		src := graph.VertexID(perm[i])
+		for d := 0; d < deg; d++ {
+			dst := graph.VertexID(perm[pick()])
+			if dst == src {
+				continue
+			}
+			dedup.add(src, dst)
+		}
+	}
+	// Guarantee weak connectivity-ish reachability for SSSP/WCC by threading
+	// a random Hamiltonian-ish path through all vertices.
+	for i := 1; i < n; i++ {
+		dedup.add(graph.VertexID(perm[i-1]), graph.VertexID(perm[i]))
+	}
+	return b.Build()
+}
+
+// edgeSet deduplicates directed edges on their way into a builder. All
+// generators produce simple graphs: the message-store replica model keeps
+// one slot per distinct in-neighbor, and real-world evaluation datasets are
+// simple graphs too.
+type edgeSet struct {
+	b    *graph.Builder
+	seen map[uint64]struct{}
+}
+
+func newEdgeSet(b *graph.Builder) *edgeSet {
+	return &edgeSet{b: b, seen: make(map[uint64]struct{})}
+}
+
+func (s *edgeSet) add(u, v graph.VertexID) {
+	key := uint64(uint32(u))<<32 | uint64(uint32(v))
+	if _, dup := s.seen[key]; dup {
+		return
+	}
+	s.seen[key] = struct{}{}
+	s.b.AddEdge(u, v)
+}
+
+// RMATConfig parameterizes the recursive matrix generator of Chakrabarti et
+// al., the generator behind the Graph500 benchmark.
+type RMATConfig struct {
+	Scale      int     // 2^Scale vertices
+	EdgeFactor float64 // edges per vertex
+	A, B, C    float64 // quadrant probabilities (D = 1-A-B-C)
+	Seed       int64
+}
+
+// RMAT generates a directed R-MAT graph.
+func RMAT(cfg RMATConfig) *graph.Graph {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		panic(fmt.Sprintf("generate: bad RMAT scale %d", cfg.Scale))
+	}
+	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
+		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19 // Graph500 defaults
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := 1 << cfg.Scale
+	m := int(cfg.EdgeFactor * float64(n))
+	b := graph.NewBuilder(n)
+	dedup := newEdgeSet(b)
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := 1 << (cfg.Scale - 1); bit > 0; bit >>= 1 {
+			x := r.Float64()
+			switch {
+			case x < cfg.A: // top-left
+			case x < cfg.A+cfg.B: // top-right
+				dst |= bit
+			case x < cfg.A+cfg.B+cfg.C: // bottom-left
+				src |= bit
+			default:
+				src |= bit
+				dst |= bit
+			}
+		}
+		if src != dst {
+			dedup.add(graph.VertexID(src), graph.VertexID(dst))
+		}
+	}
+	for i := 1; i < n; i++ {
+		dedup.add(graph.VertexID(i-1), graph.VertexID(i))
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates a directed G(n, m) graph with exactly m random edges
+// (self-loops excluded).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	dedup := newEdgeSet(b)
+	for b.NumEdges() < m {
+		src := graph.VertexID(r.Intn(n))
+		dst := graph.VertexID(r.Intn(n))
+		if dst != src {
+			dedup.add(src, dst)
+		}
+	}
+	return b.Build()
+}
+
+// Ring generates the n-cycle 0->1->...->n-1->0.
+func Ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Grid generates a rows x cols 4-neighbor grid with edges in both
+// directions (a bounded-degree graph, useful as a locking stress test with
+// no degree skew).
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+				b.AddEdge(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+				b.AddEdge(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete generates the complete directed graph K_n (every ordered pair).
+// Dense graphs are the adversarial case for greedy coloring (§1).
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,175 @@
+package generate
+
+import (
+	"math"
+	"testing"
+
+	"serialgraph/internal/graph"
+)
+
+func TestPowerLawBasic(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{N: 2000, AvgDegree: 10, Exponent: 2.2, Seed: 1})
+	if g.NumVertices() != 2000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumVertices())
+	// The connectivity path adds ~1 to the average degree.
+	if avg < 7 || avg > 15 {
+		t.Errorf("average degree %.1f far from target 10", avg)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := PowerLawConfig{N: 500, AvgDegree: 8, Exponent: 2.1, Seed: 99}
+	a, b := PowerLaw(cfg), PowerLaw(cfg)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for u := graph.VertexID(0); int(u) < a.NumVertices(); u++ {
+		an, bn := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(an) != len(bn) {
+			t.Fatalf("vertex %d: degree differs", u)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("vertex %d: neighbor %d differs", u, i)
+			}
+		}
+	}
+	c := PowerLaw(PowerLawConfig{N: 500, AvgDegree: 8, Exponent: 2.1, Seed: 100})
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("different seeds gave equal edge count (possible but unlikely); checking adjacency")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{N: 5000, AvgDegree: 12, Exponent: 2.0, Seed: 7})
+	s := graph.Summarize(g)
+	// A power-law graph must have a max degree far above the average.
+	if float64(s.MaxDegree) < 10*s.AvgDegree {
+		t.Errorf("max degree %d not skewed vs avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestPowerLawMaxDegreeCap(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{N: 3000, AvgDegree: 10, Exponent: 2.0, MaxDegree: 50, Seed: 7})
+	maxOut := 0
+	for u := graph.VertexID(0); int(u) < g.NumVertices(); u++ {
+		if d := g.OutDegree(u); d > maxOut {
+			maxOut = d
+		}
+	}
+	// +2 slack: the rounding and the connectivity path can add edges.
+	if maxOut > 52 {
+		t.Errorf("out-degree %d exceeds cap 50", maxOut)
+	}
+}
+
+func TestPowerLawReachability(t *testing.T) {
+	// The threaded path guarantees every vertex is reachable from the path
+	// head; check total reachability from some vertex via BFS on the
+	// undirected view.
+	g := PowerLaw(PowerLawConfig{N: 300, AvgDegree: 4, Exponent: 2.2, Seed: 3})
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := []graph.VertexID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.Neighbors(u, func(v graph.VertexID) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		})
+	}
+	if count != n {
+		t.Errorf("graph not weakly connected: reached %d of %d", count, n)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 5})
+	if g.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 7*1024 {
+		t.Errorf("NumEdges = %d, want >= %d", g.NumEdges(), 7*1024)
+	}
+	s := graph.Summarize(g)
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Errorf("RMAT not skewed: max %d avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 500, 11)
+	if g.NumVertices() != 100 || g.NumEdges() != 500 {
+		t.Fatalf("got %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	for u := graph.VertexID(0); int(u) < 100; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if v == u {
+				t.Fatal("self-loop in ER graph")
+			}
+		}
+	}
+}
+
+func TestRingAndGridAndComplete(t *testing.T) {
+	r := Ring(10)
+	if r.NumEdges() != 10 || r.OutDegree(9) != 1 || r.OutNeighbors(9)[0] != 0 {
+		t.Error("Ring wrong")
+	}
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("grid vertices = %d", g.NumVertices())
+	}
+	// 2*(rows*(cols-1) + (rows-1)*cols) directed edges.
+	if want := 2 * (3*3 + 2*4); g.NumEdges() != want {
+		t.Errorf("grid edges = %d, want %d", g.NumEdges(), want)
+	}
+	k := Complete(5)
+	if k.NumEdges() != 20 {
+		t.Errorf("K5 edges = %d, want 20", k.NumEdges())
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	if len(Catalog) != 4 {
+		t.Fatalf("catalog has %d datasets, want 4", len(Catalog))
+	}
+	prevEdges := 0
+	for _, d := range Catalog {
+		g := d.Build(0.25)
+		s := graph.Summarize(g)
+		if s.Vertices < 16 {
+			t.Errorf("%s: too small: %+v", d.Name, s)
+		}
+		if s.Edges <= prevEdges {
+			t.Errorf("%s: edge count %d not increasing across catalog", d.Name, s.Edges)
+		}
+		prevEdges = s.Edges
+	}
+	if _, err := ByName("TW"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestDatasetScale(t *testing.T) {
+	d, _ := ByName("OR")
+	small, big := d.Build(0.1), d.Build(0.5)
+	if small.NumVertices() >= big.NumVertices() {
+		t.Errorf("scale did not change size: %d vs %d", small.NumVertices(), big.NumVertices())
+	}
+	ratio := float64(big.NumVertices()) / float64(small.NumVertices())
+	if math.Abs(ratio-5) > 0.5 {
+		t.Errorf("vertex ratio %.2f, want ~5", ratio)
+	}
+}

@@ -1,0 +1,212 @@
+// Package giraphx emulates Giraphx (Tasci & Demirbas, Euro-Par '13), the
+// paper's algorithm-level baseline (§7.3): synchronization implemented
+// *inside the user algorithm* on top of a plain BSP engine, rather than at
+// the system level. Giraphx only implemented its techniques for graph
+// coloring, so that is what this package provides:
+//
+//   - TokenColoring: single-layer token passing in-algorithm. A vertex may
+//     color itself only in the superstep of its worker's token turn, and
+//     within a turn same-worker neighbor conflicts are serialized by vertex
+//     ID priority (emulating Giraphx's single-threaded sequential worker).
+//
+//   - LockColoring: vertex-based locking in-algorithm, with fork/grant
+//     exchanges happening only at global barriers (the constrained scheme
+//     of Proposition 1): each logical iteration costs three sub-supersteps
+//     (request, grant, color).
+//
+// Both are correct, serializable-equivalent colorings, and both pay the
+// multiplied-superstep and per-algorithm overhead the paper measures
+// Giraphx paying: 30–103× slower than the system-level techniques.
+package giraphx
+
+import (
+	"serialgraph/internal/graph"
+	"serialgraph/internal/model"
+	"serialgraph/internal/partition"
+)
+
+// ColorMsg carries a sender-tagged color, needed because the in-algorithm
+// techniques must know *which* neighbor has colored, not just the color
+// multiset.
+type ColorMsg struct {
+	From  graph.VertexID
+	Color int32
+}
+
+const noColor = -1
+
+// TokenValue is the per-vertex state of TokenColoring. In-algorithm
+// techniques must track neighbor state inside the vertex value because BSP
+// messages are visible for only one superstep — exactly the state Giraphx
+// makes every algorithm carry, and one of the usability costs §7.3
+// criticizes.
+type TokenValue struct {
+	Color int32
+	Known map[graph.VertexID]int32 // colors learned from neighbors so far
+}
+
+// TokenColoring builds the in-algorithm single-layer token coloring over
+// the given partition map. The returned program must run on the BSP engine
+// with the same map (use engine.Config.Partitioner).
+func TokenColoring(g *graph.Graph, pm *partition.Map) model.Program[TokenValue, ColorMsg] {
+	n := g.NumVertices()
+	workers := pm.W
+	workerOf := make([]int32, n)
+	// priorityNbs[u] lists the same-worker neighbors of u with smaller ID:
+	// u may color only after all of them have (the in-algorithm emulation
+	// of Giraphx's sequential single-threaded worker execution).
+	priorityNbs := make([][]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		u := graph.VertexID(v)
+		workerOf[v] = int32(pm.WorkerOf(u))
+		g.Neighbors(u, func(x graph.VertexID) {
+			if x < u && pm.WorkerOf(x) == pm.WorkerOf(u) {
+				priorityNbs[v] = append(priorityNbs[v], x)
+			}
+		})
+	}
+
+	return model.Program[TokenValue, ColorMsg]{
+		Name:      "giraphx-token-coloring",
+		Semantics: model.Queue,
+		MsgBytes:  8,
+		Init: func(graph.VertexID, *graph.Graph) TokenValue {
+			return TokenValue{Color: noColor}
+		},
+		Compute: func(ctx model.Context[TokenValue, ColorMsg], msgs []ColorMsg) {
+			v := ctx.Value()
+			if len(msgs) > 0 {
+				if v.Known == nil {
+					v.Known = make(map[graph.VertexID]int32)
+				}
+				for _, m := range msgs {
+					v.Known[m.From] = m.Color
+				}
+				ctx.SetValue(v)
+			}
+			if v.Color != noColor {
+				ctx.VoteToHalt() // already colored; wake-ups just record state
+				return
+			}
+			u := ctx.ID()
+			if ctx.Superstep()%workers != int(workerOf[u]) {
+				return // not our worker's token turn; stay active
+			}
+			// Wait for all higher-priority same-worker neighbors.
+			for _, x := range priorityNbs[u] {
+				if _, ok := v.Known[x]; !ok {
+					return // a smaller same-worker neighbor is uncolored
+				}
+			}
+			used := make([]int32, 0, len(v.Known))
+			for _, c := range v.Known {
+				used = append(used, c)
+			}
+			v.Color = mex(used)
+			ctx.SetValue(v)
+			ctx.SendToAllOut(ColorMsg{From: u, Color: v.Color})
+			ctx.VoteToHalt()
+		},
+	}
+}
+
+// Lock message kinds for LockColoring's three-phase protocol.
+const (
+	lockRequest int32 = iota
+	lockGrant
+)
+
+// LockMsg is a request or a grant (grants from colored vertices carry the
+// granter's color).
+type LockMsg struct {
+	Kind  int32
+	From  graph.VertexID
+	Color int32 // granter's color, or noColor if the granter is uncolored
+}
+
+// lockPhase returns the sub-superstep phase: 0 request, 1 grant, 2 color.
+func lockPhase(s int) int { return s % 3 }
+
+// LockColoring builds the in-algorithm vertex-based locking coloring with
+// barrier-synchronized fork exchanges (Proposition 1). Every logical
+// coloring round takes three BSP supersteps:
+//
+//	phase 0: every uncolored vertex requests its neighbors' forks;
+//	phase 1: each vertex grants to requesters that precede it (smaller ID)
+//	         or to anyone once the granter is colored;
+//	phase 2: a requester holding grants from every neighbor colors itself
+//	         with the smallest color not used by any granter.
+func LockColoring(g *graph.Graph) model.Program[int32, LockMsg] {
+	return model.Program[int32, LockMsg]{
+		Name:      "giraphx-lock-coloring",
+		Semantics: model.Queue,
+		MsgBytes:  9,
+		Init:      func(graph.VertexID, *graph.Graph) int32 { return noColor },
+		Compute: func(ctx model.Context[int32, LockMsg], msgs []LockMsg) {
+			u := ctx.ID()
+			switch lockPhase(ctx.Superstep()) {
+			case 0: // request
+				if ctx.Value() == noColor {
+					ctx.SendToAllOut(LockMsg{Kind: lockRequest, From: u})
+					// Stay active: we must collect grants in phase 2.
+					return
+				}
+				ctx.VoteToHalt()
+			case 1: // grant
+				mine := ctx.Value()
+				for _, m := range msgs {
+					if m.Kind != lockRequest {
+						continue
+					}
+					if mine != noColor || m.From < u {
+						ctx.Send(m.From, LockMsg{Kind: lockGrant, From: u, Color: mine})
+					}
+				}
+				if mine != noColor {
+					ctx.VoteToHalt()
+				}
+			case 2: // color
+				if ctx.Value() != noColor {
+					ctx.VoteToHalt()
+					return
+				}
+				grants := 0
+				used := make([]int32, 0, len(msgs))
+				for _, m := range msgs {
+					if m.Kind != lockGrant {
+						continue
+					}
+					grants++
+					if m.Color != noColor {
+						used = append(used, m.Color)
+					}
+				}
+				if grants == g.InDegree(u) {
+					ctx.SetValue(mex(used))
+					ctx.VoteToHalt()
+				}
+				// Otherwise stay active for the next request phase.
+			}
+		},
+	}
+}
+
+// mex returns the smallest non-negative integer not in used.
+func mex(used []int32) int32 {
+	seen := make(map[int32]struct{}, len(used))
+	max := int32(-1)
+	for _, c := range used {
+		if c >= 0 {
+			seen[c] = struct{}{}
+			if c > max {
+				max = c
+			}
+		}
+	}
+	for c := int32(0); c <= max+1; c++ {
+		if _, ok := seen[c]; !ok {
+			return c
+		}
+	}
+	return max + 1
+}

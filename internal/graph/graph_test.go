@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildTriangle(t)
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices %d edges, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []VertexID{1}) {
+		t.Errorf("OutNeighbors(0) = %v, want [1]", got)
+	}
+	if got := g.InNeighbors(0); !reflect.DeepEqual(got, []VertexID{2}) {
+		t.Errorf("InNeighbors(0) = %v, want [2]", got)
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(1) != 1 {
+		t.Errorf("degrees of 1 = %d/%d, want 1/1", g.OutDegree(1), g.InDegree(1))
+	}
+	if g.Undirected() {
+		t.Error("directed graph reported undirected")
+	}
+}
+
+func TestInSlot(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(3, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(4, 0)
+	g := b.Build()
+	in := g.InNeighbors(0)
+	if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+		t.Fatalf("in-neighbors not sorted: %v", in)
+	}
+	for want, src := range in {
+		got, ok := g.InSlot(0, src)
+		if !ok || got != want {
+			t.Errorf("InSlot(0,%d) = %d,%v; want %d,true", src, got, ok, want)
+		}
+	}
+	if _, ok := g.InSlot(0, 2); ok {
+		t.Error("InSlot found nonexistent edge 2->0")
+	}
+	if !g.HasEdge(3, 0) || g.HasEdge(0, 3) {
+		t.Error("HasEdge direction wrong")
+	}
+}
+
+func TestBuildUndirected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate pair, must collapse
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 2) // self-loop, dropped
+	g := b.BuildUndirected()
+	if !g.Undirected() {
+		t.Fatal("not marked undirected")
+	}
+	if g.NumEdges() != 4 { // {0,1} and {1,2}, both directions
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 1) {
+		t.Error("symmetrization missing edges")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop survived symmetrization")
+	}
+}
+
+func TestNeighborsDedup(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // 1 is both in- and out-neighbor of 0
+	b.AddEdge(2, 0)
+	g := b.Build()
+	var got []VertexID
+	g.Neighbors(0, func(v VertexID) { got = append(got, v) })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []VertexID{1, 2}) {
+		t.Errorf("Neighbors(0) = %v, want [1 2]", got)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 2.5)
+	g := b.Build()
+	w := g.OutWeights(0)
+	if len(w) != 1 || w[0] != 2.5 {
+		t.Fatalf("OutWeights(0) = %v, want [2.5]", w)
+	}
+	b2 := NewBuilder(2)
+	b2.AddEdge(0, 1)
+	if got := b2.Build().OutWeights(0); got != nil {
+		t.Errorf("unweighted graph has weights %v", got)
+	}
+}
+
+func TestMaxDegreeAndStats(t *testing.T) {
+	// Star: center 0 with 4 out-edges plus 1 in-edge.
+	b := NewBuilder(6)
+	for i := VertexID(1); i <= 4; i++ {
+		b.AddEdge(0, i)
+	}
+	b.AddEdge(5, 0)
+	g := b.Build()
+	if got := g.MaxDegree(); got != 5 {
+		t.Errorf("MaxDegree = %d, want 5", got)
+	}
+	s := Summarize(g)
+	if s.Vertices != 6 || s.Edges != 5 || s.MaxDegree != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.AvgDegree != 5.0/6.0 {
+		t.Errorf("AvgDegree = %v", s.AvgDegree)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge did not panic")
+		}
+	}()
+	b := NewBuilder(2)
+	b.AddEdge(0, 5)
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in := `# comment
+0 1
+1 2 3.5
+
+2 0
+`
+	g, ext, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %d/%d, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(ext, []int64{0, 1, 2}) {
+		t.Errorf("ext ids = %v", ext)
+	}
+	if w := g.OutWeights(1); len(w) != 1 || w[0] != 3.5 {
+		t.Errorf("weight lost: %v", w)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("edge list round trip changed the graph")
+	}
+}
+
+func TestEdgeListRemapsSparseIDs(t *testing.T) {
+	g, ext, err := ReadEdgeList(strings.NewReader("100 900\n900 42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if !reflect.DeepEqual(ext, []int64{100, 900, 42}) {
+		t.Errorf("ext = %v", ext)
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "a b\n", "1 b\n", "1 2 x\n"} {
+		if _, _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q: want error", bad)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 50, 300)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("binary round trip changed the graph")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	// The text loader remaps IDs by first appearance, so use a chain graph
+	// whose edge-list order makes that remapping the identity.
+	b := NewBuilder(20)
+	for i := VertexID(0); i < 19; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := t.TempDir() + "/" + name
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		g2, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Errorf("%s: round trip changed the graph", name)
+		}
+	}
+}
+
+// randomGraph builds a random unweighted directed graph for tests.
+func randomGraph(r *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := VertexID(0); int(u) < a.NumVertices(); u++ {
+		ao, bo := append([]VertexID{}, a.OutNeighbors(u)...), append([]VertexID{}, b.OutNeighbors(u)...)
+		sort.Slice(ao, func(i, j int) bool { return ao[i] < ao[j] })
+		sort.Slice(bo, func(i, j int) bool { return bo[i] < bo[j] })
+		if !reflect.DeepEqual(ao, bo) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: for every edge u->v in a random graph, v lists u as in-neighbor
+// at the slot InSlot reports, and degree sums match edge count.
+func TestCSRConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		g := randomGraph(r, n, r.Intn(4*n))
+		totalOut, totalIn := 0, 0
+		for u := VertexID(0); int(u) < n; u++ {
+			totalOut += g.OutDegree(u)
+			totalIn += g.InDegree(u)
+			for _, v := range g.OutNeighbors(u) {
+				slot, ok := g.InSlot(v, u)
+				if !ok {
+					return false
+				}
+				if g.InNeighbors(v)[slot] != u {
+					return false
+				}
+			}
+		}
+		return totalOut == g.NumEdges() && totalIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BuildUndirected is symmetric and loop-free.
+func TestUndirectedSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < r.Intn(5*n); i++ {
+			b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)))
+		}
+		g := b.BuildUndirected()
+		for u := VertexID(0); int(u) < n; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				if v == u || !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return g.NumEdges()%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package history records vertex executions as transactions (§3.2: an
+// execution of vertex u is T(Nu) = r[Nu] w[u]) and verifies the paper's
+// serializability conditions after a run:
+//
+//   - C1: every replica read was fresh (the read slot's version equals the
+//     primary's version at read time),
+//   - C2: no two transactions on neighboring vertices overlapped in time,
+//   - 1SR: the version-order serialization graph is acyclic.
+//
+// Recording is opt-in; engines attach a Recorder only when asked, so
+// production runs pay nothing.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"serialgraph/internal/graph"
+)
+
+// Read is one replica read within a transaction: the in-neighbor it came
+// from, the version the replica slot carried, and the primary copy's
+// version at the moment of the read.
+type Read struct {
+	Src        graph.VertexID
+	SlotVer    uint32
+	PrimaryVer uint32
+}
+
+// Txn is one vertex execution. Start and End are global logical ticks that
+// strictly order non-overlapping executions; two transactions were
+// concurrent iff their [Start, End] intervals overlap.
+type Txn struct {
+	Vertex   graph.VertexID
+	Start    int64
+	End      int64
+	Wrote    bool
+	WriteVer uint32 // version produced by the write, when Wrote
+	ReadVer  uint32 // version of the vertex's own value read at start
+	Reads    []Read // in-neighbor replica reads (Overwrite semantics only)
+}
+
+// Recorder collects transactions from all workers of a run.
+type Recorder struct {
+	tick atomic.Int64
+	mu   sync.Mutex
+	txns []Txn
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Tick returns the next global logical timestamp.
+func (r *Recorder) Tick() int64 { return r.tick.Add(1) }
+
+// Append records a completed transaction. Safe for concurrent use.
+func (r *Recorder) Append(t Txn) {
+	r.mu.Lock()
+	r.txns = append(r.txns, t)
+	r.mu.Unlock()
+}
+
+// Txns returns the recorded transactions (not a copy; call after the run).
+func (r *Recorder) Txns() []Txn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.txns
+}
+
+// Len returns the number of recorded transactions.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.txns)
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	Kind   string // "C1", "C2", or "1SR"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// CheckC1 returns a violation for every stale replica read.
+func CheckC1(txns []Txn) []Violation {
+	var out []Violation
+	for _, t := range txns {
+		for _, rd := range t.Reads {
+			if rd.SlotVer != rd.PrimaryVer {
+				out = append(out, Violation{
+					Kind: "C1",
+					Detail: fmt.Sprintf("txn on v%d read v%d at version %d but primary was at %d",
+						t.Vertex, rd.Src, rd.SlotVer, rd.PrimaryVer),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckC2 returns a violation for every pair of concurrent transactions on
+// neighboring vertices (neighbors = in- or out-edge neighbors, §3.5). Uses
+// an interval sweep so only genuinely overlapping pairs are compared.
+func CheckC2(txns []Txn, g *graph.Graph) []Violation {
+	order := make([]int, len(txns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return txns[order[a]].Start < txns[order[b]].Start })
+
+	adjacent := func(u, v graph.VertexID) bool {
+		return g.HasEdge(u, v) || g.HasEdge(v, u)
+	}
+
+	var out []Violation
+	active := make([]int, 0, 64) // indices with End >= current Start
+	for _, i := range order {
+		t := &txns[i]
+		keep := active[:0]
+		for _, j := range active {
+			if txns[j].End >= t.Start {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		for _, j := range active {
+			o := &txns[j]
+			if o.Vertex == t.Vertex {
+				// Same vertex executing concurrently with itself is a C2
+				// violation too (one engine thread per vertex prevents it;
+				// flag it if it ever happens).
+				out = append(out, Violation{Kind: "C2",
+					Detail: fmt.Sprintf("v%d executed concurrently with itself ([%d,%d] vs [%d,%d])",
+						t.Vertex, o.Start, o.End, t.Start, t.End)})
+				continue
+			}
+			if adjacent(t.Vertex, o.Vertex) {
+				out = append(out, Violation{Kind: "C2",
+					Detail: fmt.Sprintf("neighbors v%d [%d,%d] and v%d [%d,%d] executed concurrently",
+						o.Vertex, o.Start, o.End, t.Vertex, t.Start, t.End)})
+			}
+		}
+		active = append(active, i)
+	}
+	return out
+}
+
+// CheckSerializable builds the version-order serialization graph and
+// reports a violation if it contains a cycle. Edges follow standard
+// multiversion conflict order: the writer of version k of vertex v precedes
+// its readers, readers of version k precede the writer of version k+1, and
+// writers are ordered by version.
+func CheckSerializable(txns []Txn) []Violation {
+	type key struct {
+		v   graph.VertexID
+		ver uint32
+	}
+	writer := make(map[key]int)
+	for i, t := range txns {
+		if t.Wrote {
+			writer[key{t.Vertex, t.WriteVer}] = i
+		}
+	}
+
+	succ := make([][]int, len(txns))
+	addEdge := func(a, b int) {
+		if a != b {
+			succ[a] = append(succ[a], b)
+		}
+	}
+	readsOf := func(i int) []Read {
+		t := txns[i]
+		// Include the implicit self-read of the vertex's own value.
+		reads := make([]Read, 0, len(t.Reads)+1)
+		reads = append(reads, t.Reads...)
+		reads = append(reads, Read{Src: t.Vertex, SlotVer: t.ReadVer, PrimaryVer: t.ReadVer})
+		return reads
+	}
+	for i := range txns {
+		for _, rd := range readsOf(i) {
+			if rd.SlotVer > 0 {
+				if w, ok := writer[key{rd.Src, rd.SlotVer}]; ok {
+					addEdge(w, i) // writer before reader
+				}
+			}
+			if w, ok := writer[key{rd.Src, rd.SlotVer + 1}]; ok {
+				addEdge(i, w) // reader before next writer
+			}
+		}
+		t := txns[i]
+		if t.Wrote && t.WriteVer > 1 {
+			if w, ok := writer[key{t.Vertex, t.WriteVer - 1}]; ok {
+				addEdge(w, i) // version order
+			}
+		}
+	}
+
+	// Iterative three-color DFS for a cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(txns))
+	var stack []int
+	for start := range txns {
+		if color[start] != white {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, start)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if color[n] == white {
+				color[n] = gray
+				for _, nb := range succ[n] {
+					if color[nb] == gray {
+						return []Violation{{Kind: "1SR",
+							Detail: fmt.Sprintf("serialization graph cycle through txns on v%d and v%d",
+								txns[n].Vertex, txns[nb].Vertex)}}
+					}
+					if color[nb] == white {
+						stack = append(stack, nb)
+					}
+				}
+			} else {
+				color[n] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs C1, C2, and the 1SR check and returns all violations.
+func CheckAll(txns []Txn, g *graph.Graph) []Violation {
+	var out []Violation
+	out = append(out, CheckC1(txns)...)
+	out = append(out, CheckC2(txns, g)...)
+	out = append(out, CheckSerializable(txns)...)
+	return out
+}

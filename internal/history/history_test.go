@@ -1,0 +1,175 @@
+package history
+
+import (
+	"sync"
+	"testing"
+
+	"serialgraph/internal/graph"
+)
+
+func pairGraph() *graph.Graph {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	return b.BuildUndirected()
+}
+
+func TestRecorderTicksMonotonic(t *testing.T) {
+	r := NewRecorder()
+	prev := int64(0)
+	for i := 0; i < 100; i++ {
+		now := r.Tick()
+		if now <= prev {
+			t.Fatalf("tick %d not increasing after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestRecorderConcurrentAppend(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := r.Tick()
+				r.Append(Txn{Vertex: 0, Start: s, End: r.Tick()})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestCheckC1(t *testing.T) {
+	fresh := []Txn{{Vertex: 1, Reads: []Read{{Src: 0, SlotVer: 3, PrimaryVer: 3}}}}
+	if v := CheckC1(fresh); v != nil {
+		t.Errorf("fresh read flagged: %v", v)
+	}
+	stale := []Txn{{Vertex: 1, Reads: []Read{{Src: 0, SlotVer: 2, PrimaryVer: 3}}}}
+	if v := CheckC1(stale); len(v) != 1 || v[0].Kind != "C1" {
+		t.Errorf("stale read not flagged: %v", v)
+	}
+}
+
+func TestCheckC2Overlap(t *testing.T) {
+	g := pairGraph()
+	// Non-overlapping neighbor executions: fine.
+	ok := []Txn{
+		{Vertex: 0, Start: 1, End: 2},
+		{Vertex: 1, Start: 3, End: 4},
+	}
+	if v := CheckC2(ok, g); v != nil {
+		t.Errorf("sequential neighbors flagged: %v", v)
+	}
+	// Overlapping neighbors: violation.
+	bad := []Txn{
+		{Vertex: 0, Start: 1, End: 3},
+		{Vertex: 1, Start: 2, End: 4},
+	}
+	if v := CheckC2(bad, g); len(v) != 1 || v[0].Kind != "C2" {
+		t.Errorf("overlapping neighbors not flagged: %v", v)
+	}
+}
+
+func TestCheckC2NonNeighborsMayOverlap(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // 2 is isolated
+	g := b.Build()
+	txns := []Txn{
+		{Vertex: 0, Start: 1, End: 5},
+		{Vertex: 2, Start: 2, End: 4},
+	}
+	if v := CheckC2(txns, g); v != nil {
+		t.Errorf("non-neighbors flagged: %v", v)
+	}
+}
+
+func TestCheckC2SameVertexConcurrent(t *testing.T) {
+	g := pairGraph()
+	txns := []Txn{
+		{Vertex: 0, Start: 1, End: 4},
+		{Vertex: 0, Start: 2, End: 3},
+	}
+	if v := CheckC2(txns, g); len(v) != 1 {
+		t.Errorf("self-concurrency not flagged: %v", v)
+	}
+}
+
+func TestCheckC2DirectionalNeighbors(t *testing.T) {
+	// u -> v only (directed): still neighbors per §3.5.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	txns := []Txn{
+		{Vertex: 0, Start: 1, End: 3},
+		{Vertex: 1, Start: 2, End: 4},
+	}
+	if v := CheckC2(txns, g); len(v) != 1 {
+		t.Errorf("directed neighbors not flagged: %v", v)
+	}
+}
+
+func TestCheckSerializableAcyclic(t *testing.T) {
+	// v0 writes version 1; v1 reads it and writes its own version 1.
+	txns := []Txn{
+		{Vertex: 0, Wrote: true, WriteVer: 1, ReadVer: 0},
+		{Vertex: 1, Wrote: true, WriteVer: 1, ReadVer: 0,
+			Reads: []Read{{Src: 0, SlotVer: 1, PrimaryVer: 1}}},
+	}
+	if v := CheckSerializable(txns); v != nil {
+		t.Errorf("acyclic history flagged: %v", v)
+	}
+}
+
+func TestCheckSerializableCycle(t *testing.T) {
+	// Classic write skew on two vertices:
+	//   T0 on v0 reads v1@0 and writes v0@1.
+	//   T1 on v1 reads v0@0 and writes v1@1.
+	// T0 before T1 (T0 read v1@0, T1 wrote v1@1) and T1 before T0
+	// symmetric: cycle.
+	txns := []Txn{
+		{Vertex: 0, Wrote: true, WriteVer: 1, ReadVer: 0,
+			Reads: []Read{{Src: 1, SlotVer: 0, PrimaryVer: 0}}},
+		{Vertex: 1, Wrote: true, WriteVer: 1, ReadVer: 0,
+			Reads: []Read{{Src: 0, SlotVer: 0, PrimaryVer: 0}}},
+	}
+	if v := CheckSerializable(txns); len(v) != 1 || v[0].Kind != "1SR" {
+		t.Errorf("write-skew cycle not flagged: %v", v)
+	}
+}
+
+func TestCheckSerializableVersionChain(t *testing.T) {
+	// Serial updates to one vertex across three supersteps: acyclic.
+	txns := []Txn{
+		{Vertex: 0, Wrote: true, WriteVer: 1, ReadVer: 0},
+		{Vertex: 0, Wrote: true, WriteVer: 2, ReadVer: 1},
+		{Vertex: 0, Wrote: true, WriteVer: 3, ReadVer: 2},
+	}
+	if v := CheckSerializable(txns); v != nil {
+		t.Errorf("version chain flagged: %v", v)
+	}
+}
+
+func TestCheckAllAggregates(t *testing.T) {
+	g := pairGraph()
+	txns := []Txn{
+		{Vertex: 0, Start: 1, End: 3, Wrote: true, WriteVer: 1,
+			Reads: []Read{{Src: 1, SlotVer: 0, PrimaryVer: 1}}}, // C1 violation
+		{Vertex: 1, Start: 2, End: 4, Wrote: true, WriteVer: 1}, // C2 overlap with above
+	}
+	v := CheckAll(txns, g)
+	kinds := map[string]int{}
+	for _, x := range v {
+		kinds[x.Kind]++
+	}
+	if kinds["C1"] != 1 || kinds["C2"] != 1 {
+		t.Errorf("CheckAll = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}

@@ -1,0 +1,13 @@
+package model
+
+import "testing"
+
+func TestSemanticsString(t *testing.T) {
+	for s, want := range map[Semantics]string{
+		Queue: "queue", Combine: "combine", Overwrite: "overwrite", Semantics(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package msgstore
+
+import (
+	"sync"
+
+	"serialgraph/internal/graph"
+)
+
+// Entry is one vertex message in a remote batch.
+type Entry[M any] struct {
+	Dst, Src graph.VertexID
+	Msg      M
+	Ver      uint32
+}
+
+// Buffer is the message buffer cache of §6.1: outgoing remote messages are
+// batched per destination worker to use the (simulated) network
+// efficiently. Batches flush automatically when full and manually before a
+// worker hands over a token or fork (the C1 write-all flush).
+type Buffer[M any] struct {
+	perDest  []*destBuf[M]
+	cap      int
+	msgBytes int
+	hdr      int // batch header bytes
+	entryHdr int // per-entry header bytes
+	combine  func(a, b M) M
+	send     func(dest int, batch []Entry[M], bytes int)
+}
+
+type destBuf[M any] struct {
+	mu      sync.Mutex
+	entries []Entry[M]
+	// slot maps a destination vertex to its combined entry's index when
+	// sender-side combining is on.
+	slot map[graph.VertexID]int
+}
+
+// NewBuffer creates a buffer cache for nWorkers destinations. cap is the
+// flush threshold in entries; send is invoked with the drained batch and
+// its simulated wire size.
+func NewBuffer[M any](nWorkers, cap, msgBytes, batchHeader, entryHeader int, send func(dest int, batch []Entry[M], bytes int)) *Buffer[M] {
+	if cap < 1 {
+		cap = 1
+	}
+	b := &Buffer[M]{cap: cap, msgBytes: msgBytes, hdr: batchHeader, entryHdr: entryHeader, send: send}
+	b.perDest = make([]*destBuf[M], nWorkers)
+	for i := range b.perDest {
+		b.perDest[i] = &destBuf[M]{}
+	}
+	return b
+}
+
+// SetCombiner enables sender-side combining (Giraph's combiner support):
+// messages buffered for the same destination vertex are folded with fn
+// before they ever reach the network, shrinking batches for algorithms
+// like SSSP and WCC. Call before any Add.
+func (b *Buffer[M]) SetCombiner(fn func(a, b M) M) { b.combine = fn }
+
+// Add buffers a message bound for a vertex on worker dest, flushing that
+// destination if the buffer is full.
+func (b *Buffer[M]) Add(dest int, e Entry[M]) {
+	d := b.perDest[dest]
+	d.mu.Lock()
+	if b.combine != nil {
+		if d.slot == nil {
+			d.slot = make(map[graph.VertexID]int)
+		}
+		if i, ok := d.slot[e.Dst]; ok {
+			d.entries[i].Msg = b.combine(d.entries[i].Msg, e.Msg)
+			d.mu.Unlock()
+			return
+		}
+		d.slot[e.Dst] = len(d.entries)
+	}
+	d.entries = append(d.entries, e)
+	if len(d.entries) >= b.cap {
+		batch := d.entries
+		d.entries = nil
+		d.slot = nil
+		d.mu.Unlock()
+		b.send(dest, batch, b.batchBytes(len(batch)))
+		return
+	}
+	d.mu.Unlock()
+}
+
+// FlushTo drains the buffer for one destination, returning the number of
+// entries sent.
+func (b *Buffer[M]) FlushTo(dest int) int {
+	d := b.perDest[dest]
+	d.mu.Lock()
+	batch := d.entries
+	d.entries = nil
+	d.slot = nil
+	d.mu.Unlock()
+	if len(batch) == 0 {
+		return 0
+	}
+	b.send(dest, batch, b.batchBytes(len(batch)))
+	return len(batch)
+}
+
+// FlushAll drains every destination buffer.
+func (b *Buffer[M]) FlushAll() {
+	for dest := range b.perDest {
+		b.FlushTo(dest)
+	}
+}
+
+// Pending returns the number of buffered entries for dest.
+func (b *Buffer[M]) Pending(dest int) int {
+	d := b.perDest[dest]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+func (b *Buffer[M]) batchBytes(n int) int {
+	return b.hdr + n*(b.entryHdr+b.msgBytes)
+}

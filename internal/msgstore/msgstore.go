@@ -1,0 +1,304 @@
+// Package msgstore implements the per-worker message stores of §6.1: all
+// incoming vertex messages for a worker's vertices are buffered here, with
+// three pluggable semantics (queue, combine, overwrite-per-source) chosen
+// by the algorithm. Local messages are written directly by compute threads
+// (eager local replicas); remote messages arrive in batches through the
+// transport and are applied on delivery.
+//
+// The overwrite mode stores one slot per in-edge, making the store exactly
+// the read-only replica table of the paper's formalism (§3.1): reading a
+// vertex's messages is reading the replicas of its in-edge neighbors, and
+// slots carry version numbers so the history checker can verify freshness
+// (condition C1).
+package msgstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/model"
+)
+
+const stripes = 64 // lock striping granularity
+
+// Store holds incoming messages for the vertices owned by one worker.
+type Store[M any] struct {
+	g       *graph.Graph
+	kind    model.Semantics
+	combine func(a, b M) M
+
+	local []int32 // global vertex -> local dense index, -1 if not owned
+	owned []graph.VertexID
+
+	locks [stripes]sync.Mutex
+
+	// Queue mode: one slice per owned vertex.
+	queues [][]M
+
+	// Combine mode: one slot per owned vertex.
+	slot    []M
+	hasSlot []bool
+
+	// Overwrite mode: one slot per in-edge of each owned vertex, indexed by
+	// the in-neighbor's position in g.InNeighbors(v).
+	ow      [][]M
+	owHas   [][]bool
+	owVer   [][]uint32
+	owFresh [][]bool // slot updated since last read (activation info)
+
+	hasNew   []bool // per owned vertex: unseen message since last read
+	newCount atomic.Int64
+}
+
+// New creates a store for the given owned vertices.
+func New[M any](g *graph.Graph, owned []graph.VertexID, kind model.Semantics, combine func(a, b M) M) *Store[M] {
+	if kind == model.Combine && combine == nil {
+		panic("msgstore: Combine semantics require a combine function")
+	}
+	s := &Store[M]{g: g, kind: kind, combine: combine, owned: owned}
+	s.local = make([]int32, g.NumVertices())
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	for i, v := range owned {
+		s.local[v] = int32(i)
+	}
+	n := len(owned)
+	s.hasNew = make([]bool, n)
+	switch kind {
+	case model.Queue:
+		s.queues = make([][]M, n)
+	case model.Combine:
+		s.slot = make([]M, n)
+		s.hasSlot = make([]bool, n)
+	case model.Overwrite:
+		s.ow = make([][]M, n)
+		s.owHas = make([][]bool, n)
+		s.owVer = make([][]uint32, n)
+		s.owFresh = make([][]bool, n)
+		for i, v := range owned {
+			d := g.InDegree(v)
+			s.ow[i] = make([]M, d)
+			s.owHas[i] = make([]bool, d)
+			s.owVer[i] = make([]uint32, d)
+			s.owFresh[i] = make([]bool, d)
+		}
+	default:
+		panic(fmt.Sprintf("msgstore: unknown semantics %v", kind))
+	}
+	return s
+}
+
+// Owns reports whether dst is stored here.
+func (s *Store[M]) Owns(dst graph.VertexID) bool { return s.local[dst] >= 0 }
+
+func (s *Store[M]) idx(dst graph.VertexID) int32 {
+	li := s.local[dst]
+	if li < 0 {
+		panic(fmt.Sprintf("msgstore: vertex %d not owned by this store", dst))
+	}
+	return li
+}
+
+// Put records message m from src to dst. ver is src's value version at send
+// time (0 when history tracking is off). Safe for concurrent use.
+func (s *Store[M]) Put(dst, src graph.VertexID, m M, ver uint32) {
+	li := s.idx(dst)
+	lk := &s.locks[li%stripes]
+	lk.Lock()
+	switch s.kind {
+	case model.Queue:
+		s.queues[li] = append(s.queues[li], m)
+	case model.Combine:
+		if s.hasSlot[li] {
+			s.slot[li] = s.combine(s.slot[li], m)
+		} else {
+			s.slot[li] = m
+			s.hasSlot[li] = true
+		}
+	case model.Overwrite:
+		pos, ok := s.g.InSlot(dst, src)
+		if !ok {
+			lk.Unlock()
+			panic(fmt.Sprintf("msgstore: overwrite message from non-in-neighbor %d to %d", src, dst))
+		}
+		s.ow[li][pos] = m
+		s.owHas[li][pos] = true
+		s.owVer[li][pos] = ver
+		s.owFresh[li][pos] = true
+	}
+	if !s.hasNew[li] {
+		s.hasNew[li] = true
+		s.newCount.Add(1)
+	}
+	lk.Unlock()
+}
+
+// HasNew reports whether dst has messages it has not yet read.
+func (s *Store[M]) HasNew(dst graph.VertexID) bool {
+	li := s.idx(dst)
+	lk := &s.locks[li%stripes]
+	lk.Lock()
+	defer lk.Unlock()
+	return s.hasNew[li]
+}
+
+// NewCount returns the number of owned vertices with unread messages.
+func (s *Store[M]) NewCount() int64 { return s.newCount.Load() }
+
+// Reader is a reusable scratch buffer for reading a vertex's messages
+// without allocation. Each compute thread owns one.
+type Reader[M any] struct {
+	Msgs []M
+	// Srcs and Vers are filled only in Overwrite mode, parallel to Msgs:
+	// the in-neighbor each slot belongs to and the version it carried.
+	Srcs []graph.VertexID
+	Vers []uint32
+}
+
+func (r *Reader[M]) reset() {
+	r.Msgs = r.Msgs[:0]
+	r.Srcs = r.Srcs[:0]
+	r.Vers = r.Vers[:0]
+}
+
+// Read collects the messages visible to an execution of dst into r and
+// returns whether any were present. Queue and Combine consume; Overwrite
+// retains slots but clears the new-message flag.
+func (s *Store[M]) Read(dst graph.VertexID, r *Reader[M]) bool {
+	r.reset()
+	li := s.idx(dst)
+	lk := &s.locks[li%stripes]
+	lk.Lock()
+	defer lk.Unlock()
+	if s.hasNew[li] {
+		s.hasNew[li] = false
+		s.newCount.Add(-1)
+	}
+	switch s.kind {
+	case model.Queue:
+		if len(s.queues[li]) == 0 {
+			return false
+		}
+		r.Msgs = append(r.Msgs, s.queues[li]...)
+		s.queues[li] = s.queues[li][:0]
+	case model.Combine:
+		if !s.hasSlot[li] {
+			return false
+		}
+		r.Msgs = append(r.Msgs, s.slot[li])
+		s.hasSlot[li] = false
+	case model.Overwrite:
+		in := s.g.InNeighbors(dst)
+		any := false
+		for pos, has := range s.owHas[li] {
+			if !has {
+				continue
+			}
+			any = true
+			r.Msgs = append(r.Msgs, s.ow[li][pos])
+			r.Srcs = append(r.Srcs, in[pos])
+			r.Vers = append(r.Vers, s.owVer[li][pos])
+			s.owFresh[li][pos] = false
+		}
+		return any
+	}
+	return true
+}
+
+// SwapEmpty atomically drains all state, used when resetting between runs.
+func (s *Store[M]) Clear() {
+	for i := range s.locks {
+		s.locks[i].Lock()
+	}
+	for li := range s.hasNew {
+		if s.hasNew[li] {
+			s.hasNew[li] = false
+			s.newCount.Add(-1)
+		}
+		switch s.kind {
+		case model.Queue:
+			s.queues[li] = s.queues[li][:0]
+		case model.Combine:
+			s.hasSlot[li] = false
+		case model.Overwrite:
+			for p := range s.owHas[li] {
+				s.owHas[li][p] = false
+				s.owFresh[li][p] = false
+				s.owVer[li][p] = 0
+			}
+		}
+	}
+	for i := range s.locks {
+		s.locks[i].Unlock()
+	}
+}
+
+// DumpEntry is one message-store record for checkpointing. Src is -1 for
+// Queue and Combine modes, which do not track senders.
+type DumpEntry[M any] struct {
+	Dst, Src graph.VertexID
+	Msg      M
+	Ver      uint32
+	IsNew    bool
+}
+
+// Dump snapshots the store's full contents for a checkpoint (§6.4). Call
+// only while the cluster is quiescent (at a global barrier).
+func (s *Store[M]) Dump() []DumpEntry[M] {
+	var out []DumpEntry[M]
+	for li, v := range s.owned {
+		isNew := s.hasNew[li]
+		switch s.kind {
+		case model.Queue:
+			for _, m := range s.queues[li] {
+				out = append(out, DumpEntry[M]{Dst: v, Src: -1, Msg: m, IsNew: isNew})
+			}
+		case model.Combine:
+			if s.hasSlot[li] {
+				out = append(out, DumpEntry[M]{Dst: v, Src: -1, Msg: s.slot[li], IsNew: isNew})
+			}
+		case model.Overwrite:
+			in := s.g.InNeighbors(v)
+			for pos, has := range s.owHas[li] {
+				if has {
+					out = append(out, DumpEntry[M]{
+						Dst: v, Src: in[pos], Msg: s.ow[li][pos],
+						Ver: s.owVer[li][pos], IsNew: isNew && s.owFresh[li][pos],
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Load restores a dump produced by Dump into an empty store.
+func (s *Store[M]) Load(entries []DumpEntry[M]) {
+	s.Clear()
+	for _, e := range entries {
+		li := s.idx(e.Dst)
+		switch s.kind {
+		case model.Queue:
+			s.queues[li] = append(s.queues[li], e.Msg)
+		case model.Combine:
+			s.slot[li] = e.Msg
+			s.hasSlot[li] = true
+		case model.Overwrite:
+			pos, ok := s.g.InSlot(e.Dst, e.Src)
+			if !ok {
+				panic("msgstore: restored entry from non-in-neighbor")
+			}
+			s.ow[li][pos] = e.Msg
+			s.owHas[li][pos] = true
+			s.owVer[li][pos] = e.Ver
+			s.owFresh[li][pos] = e.IsNew
+		}
+		if e.IsNew && !s.hasNew[li] {
+			s.hasNew[li] = true
+			s.newCount.Add(1)
+		}
+	}
+}
