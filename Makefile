@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet test test-short test-race chaos ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite, including the chaos tests (fault injection + recovery).
+test:
+	$(GO) test ./...
+
+# Short mode skips the chaos tests and other long-running suites.
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Just the fault-injection/recovery harness, verbosely.
+chaos:
+	$(GO) test ./internal/engine/ -run Chaos -v
+	$(GO) test ./internal/fault/ -v
+
+ci: build vet test-race
+
+clean:
+	$(GO) clean ./...

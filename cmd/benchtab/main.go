@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchtab -exp table1|fig1|fig2|fig3|fig6a|fig6b|fig6c|fig6d|giraphx|
-//	              ablation-partitions|ablation-degenerate|ablation-partitioner|all
+//	              ablation-partitions|ablation-degenerate|ablation-partitioner|
+//	              recovery|all
 //	         [-scale 0.5] [-workers 16,32] [-latency 50us] [-v]
 package main
 
@@ -96,6 +97,9 @@ func main() {
 		case "exclusion":
 			header(out, "§7 exclusion: vertex-based locking on Giraph async vs GraphLab async")
 			bench.Print(out, bench.Exclusion(cfg))
+		case "recovery":
+			header(out, "§6.4: checkpoint overhead and crash-recovery cost, SSSP on OR")
+			bench.Print(out, bench.RecoveryOverhead(cfg))
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
@@ -106,6 +110,7 @@ func main() {
 			"table1", "fig2", "fig1", "fig6a", "fig6b", "fig6c", "fig6d",
 			"giraphx", "ablation-partitions", "ablation-degenerate", "ablation-partitioner",
 			"ablation-combining", "ablation-skip", "mis", "ablation-bap", "exclusion",
+			"recovery",
 		} {
 			runOne(name)
 			fmt.Fprintln(out)

@@ -33,6 +33,16 @@ func main() {
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated network latency")
 	check := flag.Bool("check", false, "verify serializability (records history; slower)")
 	out := flag.String("o", "", "write final vertex values to this file (text, one per line)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every k-th superstep (0 = off)")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory (required with -checkpoint-every)")
+	crashAt := flag.Int("crash-at", -1, "inject a worker crash at this superstep (-1 = off)")
+	crashWorker := flag.Int("crash-worker", 0, "worker to crash (with -crash-at or -crash-after-msgs)")
+	crashAfterMsgs := flag.Int64("crash-after-msgs", 0, "inject a crash after this many delivered data messages (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+	dropRate := flag.Float64("drop-rate", 0, "probability of dropping each data message")
+	dupRate := flag.Float64("dup-rate", 0, "probability of duplicating each data message")
+	stragglerRate := flag.Float64("straggler-rate", 0, "probability of delaying each data message")
+	stragglerDelay := flag.Duration("straggler-delay", 0, "extra latency for straggler messages")
 	flag.Parse()
 
 	var g *serialgraph.Graph
@@ -72,6 +82,28 @@ func main() {
 	opt := serialgraph.Options{
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
 		Technique: technique, NetworkLatency: *latency, Seed: 1,
+		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
+	}
+
+	// Assemble the fault plan, if any fault flag is set.
+	plan := serialgraph.FaultPlan{
+		DropRate: *dropRate, DuplicateRate: *dupRate,
+		StragglerRate: *stragglerRate, StragglerDelay: *stragglerDelay,
+		Seed: *faultSeed,
+	}
+	if *crashAt >= 0 {
+		plan.Crashes = append(plan.Crashes, serialgraph.CrashSpec{
+			Worker: *crashWorker, AtSuperstep: *crashAt})
+	} else if *crashAfterMsgs > 0 {
+		plan.Crashes = append(plan.Crashes, serialgraph.CrashSpec{
+			Worker: *crashWorker, AfterMessages: *crashAfterMsgs})
+	}
+	faulty := len(plan.Crashes) > 0 || plan.DropRate > 0 || plan.DuplicateRate > 0 || plan.StragglerRate > 0
+	if faulty {
+		if technique == serialgraph.VertexLocking {
+			log.Fatal("fault injection is not supported on the GAS engine (-technique vertex-locking)")
+		}
+		opt.Fault = &plan
 	}
 
 	// Undirected algorithms want symmetrized inputs.
@@ -178,6 +210,11 @@ func main() {
 	fmt.Printf("network: %d data batches / %d KB data, %d control msgs; forks=%d tokens=%d\n",
 		res.Net.DataMessages, res.Net.DataBytes/1024, res.Net.ControlMessages,
 		res.ForkSends, res.TokenSends)
+	if faulty {
+		fmt.Printf("recovery: rollbacks=%d recomputed-supersteps=%d wasted-msgs=%d dropped=%d\n",
+			res.Rollbacks, res.RecomputedSupersteps, res.WastedMessages,
+			res.Net.DroppedMessages)
+	}
 	if *check {
 		if len(violations) == 0 {
 			fmt.Println("serializability check: clean (C1, C2, 1SR)")

@@ -44,6 +44,8 @@ type Row struct {
 	CtrlMsgs   int64
 	Forks      int64
 	MaxConc    int64
+	Rollbacks  int
+	Recomputed int
 	Converged  bool
 }
 
@@ -258,12 +260,12 @@ func Fig6(alg string, cfg Config) []Row {
 // Print renders rows as an aligned table.
 func Print(w io.Writer, rows []Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "experiment\talgorithm\tdataset\tW\ttechnique\ttime\tsupersteps\texecs\tdata msgs\tdata KB\tctrl msgs\tforks\tconverged")
+	fmt.Fprintln(tw, "experiment\talgorithm\tdataset\tW\ttechnique\ttime\tsupersteps\texecs\tdata msgs\tdata KB\tctrl msgs\tforks\trollbacks\tconverged")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
 			r.Experiment, r.Algorithm, r.Dataset, r.Workers, r.Technique,
 			r.Time.Round(time.Millisecond), r.Supersteps, r.Executions,
-			r.DataMsgs, r.DataBytes/1024, r.CtrlMsgs, r.Forks, r.Converged)
+			r.DataMsgs, r.DataBytes/1024, r.CtrlMsgs, r.Forks, r.Rollbacks, r.Converged)
 	}
 	tw.Flush()
 }

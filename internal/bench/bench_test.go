@@ -103,6 +103,28 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestRecoveryOverhead(t *testing.T) {
+	rows := RecoveryOverhead(tiny())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Errorf("%s did not converge", r.Technique)
+		}
+	}
+	if rows[0].Rollbacks != 0 || rows[1].Rollbacks != 0 {
+		t.Errorf("fault-free rows report rollbacks: %d, %d", rows[0].Rollbacks, rows[1].Rollbacks)
+	}
+	crashed := rows[2]
+	if crashed.Rollbacks < 1 {
+		t.Errorf("crashed row reports no rollback: %+v", crashed)
+	}
+	if crashed.Recomputed < 1 {
+		t.Errorf("crashed row reports no recomputed supersteps: %+v", crashed)
+	}
+}
+
 func TestPRThreshold(t *testing.T) {
 	if prThreshold("OR") != 0.01 || prThreshold("AR") != 0.01 {
 		t.Error("OR/AR threshold wrong")

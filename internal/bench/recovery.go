@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"os"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/engine"
+	"serialgraph/internal/fault"
+)
+
+// RecoveryOverhead measures the §6.4 fault-tolerance costs on the OR
+// analog: SSSP under partition-based locking run three ways — without
+// checkpointing, with synchronous checkpoints every 2 supersteps (the
+// fault-free overhead), and with the same checkpoints plus a worker crash
+// injected mid-run and recovered in-run by whole-cluster rollback (the
+// recovery cost: rollbacks and recomputed supersteps appear in the rows).
+func RecoveryOverhead(cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	gc := newGraphCache(cfg)
+	g := gc.directed("OR")
+	workers := cfg.Workers[0]
+
+	run := func(label string, every int, plan *fault.Plan) Row {
+		ecfg := engine.Config{
+			Workers: workers, Mode: engine.Async, Sync: engine.PartitionLock,
+			Latency: cfg.latencyModel(), Seed: 1,
+		}
+		if every > 0 {
+			dir, err := os.MkdirTemp("", "serialgraph-recovery")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			ecfg.CheckpointEvery = every
+			ecfg.CheckpointDir = dir
+		}
+		if plan != nil {
+			ecfg.Fault = fault.NewInjector(*plan)
+		}
+		cfg.logf("recovery %s ...", label)
+		_, res, _, err := engine.Run(g, algorithms.SSSP(0), ecfg)
+		if err != nil {
+			panic(err)
+		}
+		return Row{
+			Experiment: "recovery", Algorithm: "sssp", Dataset: "OR", Workers: workers,
+			Technique: label, Time: res.ComputeTime, Supersteps: res.Supersteps,
+			Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
+			CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends,
+			Rollbacks: res.Rollbacks, Recomputed: res.RecomputedSupersteps,
+			Converged: res.Converged,
+		}
+	}
+
+	crash := &fault.Plan{
+		Crashes: []fault.Crash{{Worker: workers - 1, AtSuperstep: 1}},
+		Seed:    7,
+	}
+	return []Row{
+		run("no-checkpoint", 0, nil),
+		run("checkpoint", 2, nil),
+		run("checkpoint+crash", 2, crash),
+	}
+}

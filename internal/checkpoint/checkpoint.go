@@ -35,6 +35,10 @@ type Snapshot[V, M any] struct {
 	// Forks holds each worker's Chandy–Misra state (partition-based
 	// locking only; nil otherwise).
 	Forks []map[chandy.PhilID]map[chandy.PhilID]byte
+	// Versions holds per-vertex write versions, recorded only when the
+	// run tracks history: restoring them with the values keeps the
+	// post-rollback transaction log's version arithmetic consistent.
+	Versions []uint32
 }
 
 // Path returns the checkpoint file path for a superstep under dir.

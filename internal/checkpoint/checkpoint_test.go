@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"serialgraph/internal/chandy"
@@ -74,5 +75,67 @@ func TestSaveIsAtomic(t *testing.T) {
 func TestLoadMissing(t *testing.T) {
 	if _, err := Load[int32, int32](filepath.Join(t.TempDir(), "nope.gob")); err == nil {
 		t.Error("missing file did not error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint-000001.gob")
+	if err := os.WriteFile(path, []byte("this is not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load[int32, int32](path)
+	if err == nil {
+		t.Fatal("garbage file did not error")
+	}
+	if want := "checkpoint: decode"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := Path(dir, 3)
+	snap := &Snapshot[float64, float64]{
+		Superstep: 3,
+		Values:    make([]float64, 1000),
+		Halted:    make([]bool, 1000),
+	}
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the stream at several points; every cut must produce a clean
+	// error, never a panic or a silently short snapshot.
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := int(float64(len(data)) * frac)
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load[float64, float64](path); err == nil {
+			t.Errorf("truncated at %d/%d bytes: no error", cut, len(data))
+		}
+	}
+}
+
+func TestLatestIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(Path(dir, 4), &Snapshot[int32, int32]{Superstep: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Save at a later superstep: the temp file exists
+	// but was never renamed. Latest must not pick it up.
+	tmp := Path(dir, 9) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "checkpoint-000004.gob" {
+		t.Errorf("Latest = %s, want the completed checkpoint, not the .tmp", p)
 	}
 }

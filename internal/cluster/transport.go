@@ -75,6 +75,26 @@ func (l LatencyModel) serialization(bytes int) time.Duration {
 // concurrently. A handler may call Send.
 type Handler func(m Message)
 
+// Fate is a fault hook's verdict on one message.
+type Fate struct {
+	// Drop discards the message; it is counted in DroppedMessages and
+	// never delivered.
+	Drop bool
+	// Duplicates enqueues this many extra copies (at-least-once delivery).
+	Duplicates int
+	// Delay adds straggler latency on top of the latency model.
+	Delay time.Duration
+}
+
+// FaultHook intercepts transport traffic for fault injection. OnSend runs
+// on the sender's goroutine before a message is enqueued and returns its
+// fate; OnDeliver runs on the delivery goroutine after a message has been
+// handed to its handler. Implementations must be safe for concurrent use.
+type FaultHook interface {
+	OnSend(m Message) Fate
+	OnDeliver(m Message)
+}
+
 // Stats holds cumulative traffic counters. All fields are atomically
 // updated and may be read while the transport is active.
 type Stats struct {
@@ -83,6 +103,13 @@ type Stats struct {
 	ControlMessages atomic.Int64
 	ControlBytes    atomic.Int64
 	AckMessages     atomic.Int64
+	// DroppedMessages counts messages discarded instead of delivered:
+	// sends after Close, traffic to or from killed workers, and drops
+	// injected by a fault hook. Messages dropped at send time are not
+	// counted in the per-kind counters above; a message lost on the wire
+	// (its receiver died in flight) was already counted when sent and
+	// additionally counts here.
+	DroppedMessages atomic.Int64
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -90,6 +117,7 @@ type Snapshot struct {
 	DataMessages, DataBytes       int64
 	ControlMessages, ControlBytes int64
 	AckMessages                   int64
+	DroppedMessages               int64
 }
 
 // Load copies the counters.
@@ -97,7 +125,8 @@ func (s *Stats) Load() Snapshot {
 	return Snapshot{
 		DataMessages: s.DataMessages.Load(), DataBytes: s.DataBytes.Load(),
 		ControlMessages: s.ControlMessages.Load(), ControlBytes: s.ControlBytes.Load(),
-		AckMessages: s.AckMessages.Load(),
+		AckMessages:     s.AckMessages.Load(),
+		DroppedMessages: s.DroppedMessages.Load(),
 	}
 }
 
@@ -106,7 +135,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
 		DataMessages: s.DataMessages - o.DataMessages, DataBytes: s.DataBytes - o.DataBytes,
 		ControlMessages: s.ControlMessages - o.ControlMessages, ControlBytes: s.ControlBytes - o.ControlBytes,
-		AckMessages: s.AckMessages - o.AckMessages,
+		AckMessages:     s.AckMessages - o.AckMessages,
+		DroppedMessages: s.DroppedMessages - o.DroppedMessages,
 	}
 }
 
@@ -134,6 +164,8 @@ type Transport struct {
 	handlers []Handler
 	lanes    []*lane // n*n, index from*n+to
 	stats    Stats
+	dead     []atomic.Bool // per-worker crash flags
+	hook     FaultHook     // set before any traffic; nil when faults are off
 
 	inflightMu sync.Mutex
 	inflight   int
@@ -154,6 +186,7 @@ func New(n int, latency LatencyModel) *Transport {
 		latency:  latency,
 		handlers: make([]Handler, n),
 		lanes:    make([]*lane, n*n),
+		dead:     make([]atomic.Bool, n),
 	}
 	t.idleCond = sync.NewCond(&t.inflightMu)
 	for i := range t.lanes {
@@ -183,15 +216,84 @@ func (t *Transport) RegisterHandler(w WorkerID, h Handler) {
 	t.handlers[w] = h
 }
 
+// SetFaultHook installs a fault-injection hook. It must be called before
+// any traffic flows (the engine attaches it right after New, before
+// workers start).
+func (t *Transport) SetFaultHook(h FaultHook) { t.hook = h }
+
+// Kill marks worker w as crashed. From then on the worker's data traffic
+// is lost — data messages sent by or addressed to it are dropped (and
+// counted in DroppedMessages), and in-flight data messages addressed to
+// it are discarded at delivery time. Control and ack traffic still flows:
+// the simulation keeps the blocking coordination protocols (Chandy–Misra
+// forks, flush acks) drainable so every worker reaches the next barrier,
+// where the master detects the death and rolls the cluster back —
+// discarding all of the dead worker's superstep state anyway, exactly as
+// a real whole-cluster rollback would.
+func (t *Transport) Kill(w WorkerID) { t.dead[w].Store(true) }
+
+// Revive clears worker w's crash flag, modeling the failed machine's
+// replacement rejoining the cluster before a rollback.
+func (t *Transport) Revive(w WorkerID) { t.dead[w].Store(false) }
+
+// Alive reports whether worker w is not currently killed.
+func (t *Transport) Alive(w WorkerID) bool { return !t.dead[w].Load() }
+
+// DeadWorkers returns the IDs of all currently killed workers.
+func (t *Transport) DeadWorkers() []WorkerID {
+	var dead []WorkerID
+	for w := range t.dead {
+		if t.dead[w].Load() {
+			dead = append(dead, WorkerID(w))
+		}
+	}
+	return dead
+}
+
 // Send enqueues m for delivery. It never blocks. Sending to yourself is
 // allowed and goes through the same simulated path (engines bypass the
-// transport for truly local traffic).
+// transport for truly local traffic). Sends after Close, data sends
+// touching a killed worker, and sends dropped by the fault hook are
+// discarded and counted in Stats.DroppedMessages.
 func (t *Transport) Send(m Message) {
-	if t.closed.Load() {
-		return // shutting down; drop, as a dying cluster would
-	}
 	if m.From < 0 || int(m.From) >= t.n || m.To < 0 || int(m.To) >= t.n {
 		panic(fmt.Sprintf("cluster: bad endpoints %d->%d", m.From, m.To))
+	}
+	if t.closed.Load() {
+		// Shutting down; drop, as a dying cluster would — but account for it.
+		t.stats.DroppedMessages.Add(1)
+		return
+	}
+	if m.Kind == Data && (t.dead[m.From].Load() || t.dead[m.To].Load()) {
+		t.stats.DroppedMessages.Add(1)
+		return
+	}
+	var fate Fate
+	if t.hook != nil {
+		fate = t.hook.OnSend(m)
+		if fate.Drop {
+			t.stats.DroppedMessages.Add(1)
+			return
+		}
+	}
+	for c := 0; c <= fate.Duplicates; c++ {
+		t.enqueue(m, fate.Delay)
+	}
+}
+
+// enqueue places one copy of m on its lane, counting it as traffic. It
+// returns without enqueuing (counting a drop instead) when the lane has
+// already been closed — the check runs under the lane lock, so a Send
+// racing Close can never strand an in-flight count after the delivery
+// goroutines exit.
+func (t *Transport) enqueue(m Message, extraDelay time.Duration) {
+	l := t.lanes[int(m.From)*t.n+int(m.To)]
+	now := time.Now()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		t.stats.DroppedMessages.Add(1)
+		return
 	}
 	switch m.Kind {
 	case Data:
@@ -203,21 +305,16 @@ func (t *Transport) Send(m Message) {
 	case Ack:
 		t.stats.AckMessages.Add(1)
 	}
-
 	t.inflightMu.Lock()
 	t.inflight++
 	t.inflightMu.Unlock()
-
-	l := t.lanes[int(m.From)*t.n+int(m.To)]
-	now := time.Now()
-	l.mu.Lock()
 	depart := now
 	if l.lastDepart.After(depart) {
 		depart = l.lastDepart
 	}
 	depart = depart.Add(t.latency.serialization(m.Bytes))
 	l.lastDepart = depart
-	l.q = append(l.q, timed{m, depart.Add(t.latency.Propagation)})
+	l.q = append(l.q, timed{m, depart.Add(t.latency.Propagation + extraDelay)})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -242,8 +339,17 @@ func (t *Transport) deliver(l *lane) {
 		if d := time.Until(tm.deliverAt); d > 0 {
 			time.Sleep(d)
 		}
-		if h := t.handlers[tm.msg.To]; h != nil {
-			h(tm.msg)
+		if tm.msg.Kind == Data && t.dead[tm.msg.To].Load() {
+			// The receiver crashed while the message was on the wire: its
+			// process is gone, so the bytes are lost.
+			t.stats.DroppedMessages.Add(1)
+		} else {
+			if h := t.handlers[tm.msg.To]; h != nil {
+				h(tm.msg)
+			}
+			if t.hook != nil {
+				t.hook.OnDeliver(tm.msg)
+			}
 		}
 
 		t.inflightMu.Lock()

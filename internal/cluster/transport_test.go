@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -181,6 +182,139 @@ func TestSendAfterCloseDropped(t *testing.T) {
 	tr.Close()
 	tr.Send(Message{From: 0, To: 1, Kind: Data})
 	time.Sleep(20 * time.Millisecond)
+	if got := tr.Stats().Load().DroppedMessages; got != 1 {
+		t.Errorf("DroppedMessages = %d, want 1 (send after Close)", got)
+	}
+}
+
+func TestConcurrentSendCloseWaitIdle(t *testing.T) {
+	// Senders racing Close must never strand an in-flight count: every
+	// message either delivers or is counted dropped, and WaitIdle returns.
+	for iter := 0; iter < 20; iter++ {
+		tr := New(3, LatencyModel{})
+		var delivered atomic.Int64
+		for w := 0; w < 3; w++ {
+			tr.RegisterHandler(WorkerID(w), func(m Message) { delivered.Add(1) })
+		}
+		const senders, perSender = 6, 200
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < senders; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perSender; i++ {
+					tr.Send(Message{From: WorkerID(g % 3), To: WorkerID(i % 3), Kind: Data})
+				}
+			}()
+		}
+		close(start)
+		tr.Close() // races the senders
+		wg.Wait()
+
+		idle := make(chan struct{})
+		go func() { tr.WaitIdle(); close(idle) }()
+		select {
+		case <-idle:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: WaitIdle hung after Send/Close race (inflight=%d)",
+				iter, tr.InFlight())
+		}
+		s := tr.Stats().Load()
+		if got := delivered.Load() + s.DroppedMessages; got != senders*perSender {
+			t.Fatalf("iter %d: delivered %d + dropped %d != sent %d",
+				iter, delivered.Load(), s.DroppedMessages, senders*perSender)
+		}
+	}
+}
+
+func TestCloseStopsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr := New(8, LatencyModel{}) // 64 lanes, 64 delivery goroutines
+	for w := 0; w < 8; w++ {
+		tr.RegisterHandler(WorkerID(w), func(m Message) {})
+	}
+	for i := 0; i < 100; i++ {
+		tr.Send(Message{From: WorkerID(i % 8), To: WorkerID((i + 1) % 8), Kind: Data})
+	}
+	tr.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 { // slack for test runner internals
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: before=%d now=%d",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestKillDropsDataButNotControl(t *testing.T) {
+	tr := New(2, LatencyModel{})
+	defer tr.Close()
+	var data, ctrl atomic.Int64
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) {
+		if m.Kind == Data {
+			data.Add(1)
+		} else {
+			ctrl.Add(1)
+		}
+	})
+	tr.Kill(1)
+	if tr.Alive(1) {
+		t.Fatal("worker 1 alive after Kill")
+	}
+	tr.Send(Message{From: 0, To: 1, Kind: Data})    // to dead: dropped
+	tr.Send(Message{From: 1, To: 0, Kind: Data})    // from dead: dropped
+	tr.Send(Message{From: 0, To: 1, Kind: Control}) // control flows
+	tr.Send(Message{From: 0, To: 1, Kind: Ack})     // acks flow
+	tr.WaitIdle()
+	if got := data.Load(); got != 0 {
+		t.Errorf("dead worker received %d data messages", got)
+	}
+	if got := ctrl.Load(); got != 2 {
+		t.Errorf("control/ack delivered = %d, want 2", got)
+	}
+	if got := tr.Stats().Load().DroppedMessages; got != 2 {
+		t.Errorf("DroppedMessages = %d, want 2", got)
+	}
+	if d := tr.DeadWorkers(); len(d) != 1 || d[0] != 1 {
+		t.Errorf("DeadWorkers = %v, want [1]", d)
+	}
+
+	tr.Revive(1)
+	tr.Send(Message{From: 0, To: 1, Kind: Data})
+	tr.WaitIdle()
+	if got := data.Load(); got != 1 {
+		t.Errorf("revived worker received %d data messages, want 1", got)
+	}
+	if d := tr.DeadWorkers(); d != nil {
+		t.Errorf("DeadWorkers after Revive = %v, want none", d)
+	}
+}
+
+func TestKillDropsInFlightData(t *testing.T) {
+	// A data message already on the wire when its receiver dies is lost.
+	tr := New(2, LatencyModel{Propagation: 50 * time.Millisecond})
+	defer tr.Close()
+	tr.RegisterHandler(0, func(m Message) {})
+	tr.RegisterHandler(1, func(m Message) { t.Error("delivered to dead worker") })
+	tr.Send(Message{From: 0, To: 1, Kind: Data})
+	tr.Kill(1)
+	tr.WaitIdle()
+	s := tr.Stats().Load()
+	if s.DroppedMessages != 1 {
+		t.Errorf("DroppedMessages = %d, want 1", s.DroppedMessages)
+	}
+	// Counted when sent, and again as a wire loss.
+	if s.DataMessages != 1 {
+		t.Errorf("DataMessages = %d, want 1", s.DataMessages)
+	}
 }
 
 func TestEndpointFlushWait(t *testing.T) {

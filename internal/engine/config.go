@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"serialgraph/internal/cluster"
+	"serialgraph/internal/fault"
 	"serialgraph/internal/graph"
 	"serialgraph/internal/partition"
 )
@@ -125,12 +126,30 @@ type Config struct {
 	// checking (testing only; adds overhead).
 	TrackHistory bool
 	// CheckpointEvery takes a checkpoint after every k-th superstep when
-	// k > 0; CheckpointDir says where (§6.4).
+	// k > 0 (§6.4). It requires CheckpointDir; a positive interval with
+	// no directory is a configuration error, not a silent no-op.
 	CheckpointEvery int
-	CheckpointDir   string
+	// CheckpointDir is where checkpoints are written — and where the
+	// in-run recovery path looks for the latest one after a worker crash.
+	CheckpointDir string
 	// RestoreFrom resumes a run from a checkpoint file written by a
-	// previous run with identical Config, graph, and program.
+	// previous run with identical Config, graph, and program. It is
+	// independent of CheckpointEvery/CheckpointDir: a restored run only
+	// writes new checkpoints if those are also set (typically to the same
+	// directory, so recovery keeps working across restarts).
 	RestoreFrom string
+	// Fault optionally injects worker crashes and message-level chaos
+	// into the run (see internal/fault). When a crash fires, the master
+	// detects the dead worker at the superstep barrier, rolls the whole
+	// cluster back to the latest checkpoint in CheckpointDir (or to the
+	// initial state if none exists), revives the worker, and resumes —
+	// all within the same Run call. Requires a mode with global barriers
+	// (BSP or Async).
+	Fault *fault.Injector
+	// MaxRollbacks bounds recovery attempts per run (default 16) so a
+	// pathological fault schedule terminates with an error instead of
+	// crash-looping forever.
+	MaxRollbacks int
 	// DisableSenderCombine turns off sender-side combining, which is
 	// otherwise applied automatically for Combine-semantics programs
 	// (Giraph applies the user combiner in the buffer cache).
@@ -163,6 +182,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSupersteps <= 0 {
 		c.MaxSupersteps = 100000
 	}
+	if c.MaxRollbacks <= 0 {
+		c.MaxRollbacks = 16
+	}
 	return c
 }
 
@@ -176,6 +198,17 @@ func (c Config) validate() error {
 		}
 		if c.CheckpointEvery > 0 || c.RestoreFrom != "" {
 			return fmt.Errorf("engine: checkpointing requires global barriers; BAP has none")
+		}
+		if c.Fault != nil {
+			return fmt.Errorf("engine: fault injection requires barrier-based failure detection; BAP has no barriers")
+		}
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("engine: CheckpointEvery = %d with no CheckpointDir; checkpoints need somewhere to go", c.CheckpointEvery)
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(c.Workers); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -203,6 +236,18 @@ type Result struct {
 	// MaxConcurrency is the peak number of concurrently executing
 	// partitions observed (used for the Figure 1 spectrum experiment).
 	MaxConcurrency int64
+	// Rollbacks counts whole-cluster rollbacks performed in-run after a
+	// worker crash was detected at a barrier (§6.4, Giraph-style
+	// recovery). Zero on a fault-free run.
+	Rollbacks int
+	// RecomputedSupersteps counts supersteps that were executed more than
+	// once because a rollback discarded them — the recovery's recompute
+	// cost in barriers.
+	RecomputedSupersteps int
+	// WastedMessages counts data messages sent since the restored-to
+	// point whose effects a rollback discarded — the recovery's wasted
+	// network work.
+	WastedMessages int64
 	// SuperstepStats holds per-superstep detail when
 	// Config.DetailedStats is set.
 	SuperstepStats []SuperstepStat

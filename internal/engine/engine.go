@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"serialgraph/internal/chandy"
 	"serialgraph/internal/checkpoint"
 	"serialgraph/internal/msgstore"
 
@@ -33,6 +34,13 @@ type runner[V, M any] struct {
 
 	// classes is computed for token techniques only (§5.3).
 	classes []partition.Class
+
+	// initialForks snapshots each lock manager's fresh fork distribution
+	// (captured before the first superstep) so a rollback with no
+	// checkpoint on disk can reset the Chandy–Misra state along with the
+	// vertex state. Indexed like workers; nil when faults are off or the
+	// technique has no managers.
+	initialForks []map[chandy.PhilID]map[chandy.PhilID]byte
 
 	// versions tracks per-vertex write versions when history is recorded.
 	versions []atomic.Uint32
@@ -78,6 +86,9 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	}
 	r.tr = cluster.New(cfg.Workers, cfg.Latency)
 	defer r.tr.Close()
+	if cfg.Fault != nil {
+		cfg.Fault.Attach(r.tr)
+	}
 
 	var partNeighbors [][]partition.ID
 	if cfg.Sync == PartitionLock {
@@ -94,6 +105,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	case VertexLockGiraph:
 		for _, w := range r.workers {
 			w.initVertexLockManager()
+		}
+	}
+	if cfg.Fault != nil {
+		for _, w := range r.workers {
+			if w.mgr != nil {
+				r.initialForks = append(r.initialForks, w.mgr.Export())
+			}
 		}
 	}
 	startSuperstep := 0
@@ -126,7 +144,14 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	for _, w := range r.workers {
 		go w.loop()
 	}
+	// restoreNet is the traffic snapshot at the current restore point (run
+	// start, then each checkpoint); a rollback charges everything sent
+	// since it to Result.WastedMessages.
+	restoreNet := r.tr.Stats().Load()
 	for s := startSuperstep; s < cfg.MaxSupersteps; s++ {
+		if cfg.Fault != nil {
+			cfg.Fault.BeginSuperstep(s)
+		}
 		stepStart := time.Now()
 		execsBefore := r.executions.Load()
 		netBefore := r.tr.Stats().Load()
@@ -137,6 +162,30 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			<-w.doneCh
 		}
 		r.tr.WaitIdle()
+
+		// Failure detection at the barrier (§6.4): in a real Giraph
+		// deployment the master notices a missed heartbeat; in the
+		// simulation the transport's aliveness registry plays that role.
+		// The check runs before any superstep side effects commit
+		// (aggregator merge, store swap, checkpoint), so a checkpoint can
+		// never capture a superstep a dead worker participated in.
+		if dead := r.tr.DeadWorkers(); len(dead) > 0 {
+			res.Rollbacks++
+			if res.Rollbacks > cfg.MaxRollbacks {
+				r.shutdownWorkers()
+				return nil, Result{}, nil, fmt.Errorf("engine: workers %v still failing after %d rollbacks (MaxRollbacks)", dead, cfg.MaxRollbacks)
+			}
+			res.WastedMessages += r.tr.Stats().Load().DataMessages - restoreNet.DataMessages
+			resume, err := r.rollback()
+			if err != nil {
+				r.shutdownWorkers()
+				return nil, Result{}, nil, err
+			}
+			res.RecomputedSupersteps += s + 1 - resume
+			restoreNet = r.tr.Stats().Load()
+			s = resume - 1 // the loop increment lands on resume
+			continue
+		}
 		res.Supersteps = s + 1
 		if cfg.DetailedStats {
 			net := r.tr.Stats().Load().Sub(netBefore)
@@ -169,11 +218,12 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			r.shutdownWorkers()
 			return nil, Result{}, nil, err
 		}
-		if cfg.CheckpointEvery > 0 && cfg.CheckpointDir != "" && (s+1)%cfg.CheckpointEvery == 0 {
+		if cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
 			if err := r.takeCheckpoint(s); err != nil {
 				r.shutdownWorkers()
 				return nil, Result{}, nil, err
 			}
+			restoreNet = r.tr.Stats().Load()
 		}
 		if unhalted == 0 && pending == 0 {
 			res.Converged = true
@@ -294,6 +344,12 @@ func (r *runner[V, M]) takeCheckpoint(s int) error {
 		Halted:    append([]bool(nil), r.halted...),
 		AggPrev:   r.workers[0].aggPrev,
 	}
+	if r.versions != nil {
+		snap.Versions = make([]uint32, len(r.versions))
+		for v := range r.versions {
+			snap.Versions[v] = r.versions[v].Load()
+		}
+	}
 	for _, w := range r.workers {
 		snap.Stores = append(snap.Stores, w.readStore().Dump())
 		if w.mgr != nil {
@@ -304,7 +360,9 @@ func (r *runner[V, M]) takeCheckpoint(s int) error {
 }
 
 // restore loads a checkpoint and reinstates values, halt flags, message
-// stores, aggregators, and fork state. Returns the superstep to resume at.
+// stores, aggregators, write versions, and fork state. Callers must
+// present clean workers — either freshly constructed (the RestoreFrom
+// path) or reset by rollback. Returns the superstep to resume at.
 func (r *runner[V, M]) restore(path string) (int, error) {
 	snap, err := checkpoint.Load[V, M](path)
 	if err != nil {
@@ -318,14 +376,94 @@ func (r *runner[V, M]) restore(path string) (int, error) {
 	}
 	copy(r.values, snap.Values)
 	copy(r.halted, snap.Halted)
+	if r.versions != nil && len(snap.Versions) == len(r.versions) {
+		for v := range r.versions {
+			r.versions[v].Store(snap.Versions[v])
+		}
+	}
 	for i, w := range r.workers {
 		w.readStore().Load(snap.Stores[i])
 		w.aggPrev = snap.AggPrev
 		if w.mgr != nil && i < len(snap.Forks) {
 			w.mgr.Import(snap.Forks[i])
 		}
+		w.recomputeUnhalted()
 	}
 	return snap.Superstep + 1, nil
+}
+
+// rollback implements Giraph-style whole-cluster recovery inside one run:
+// revive the dead workers, discard all in-memory superstep state, and
+// reinstate the latest checkpoint — or the initial state when none has
+// been written yet. The master calls it at a barrier with the transport
+// idle, so no in-flight traffic can leak across the rollback. Returns the
+// superstep to resume at.
+func (r *runner[V, M]) rollback() (int, error) {
+	for _, wid := range r.tr.DeadWorkers() {
+		r.tr.Revive(wid)
+	}
+	for _, w := range r.workers {
+		w.buf.Clear()
+		w.stores[0].Clear()
+		if w.stores[1] != nil {
+			w.stores[1].Clear()
+		}
+		w.active.Store(0)
+		w.aggMu.Lock()
+		w.aggLocal = make(map[string]float64)
+		w.aggPrev = make(map[string]float64)
+		w.aggMu.Unlock()
+		w.mutMu.Lock()
+		w.mutAdds, w.mutRemoves = nil, nil
+		w.mutMu.Unlock()
+	}
+	resume := 0
+	latest := ""
+	if r.cfg.CheckpointDir != "" {
+		var err error
+		latest, err = checkpoint.Latest(r.cfg.CheckpointDir)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if latest != "" {
+		var err error
+		resume, err = r.restore(latest)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		r.resetToInitial()
+	}
+	if r.rec != nil {
+		// The discarded executions' transactions go with them: the
+		// history that must be serializable is the replay from the
+		// restored state.
+		r.rec.Reset()
+	}
+	return resume, nil
+}
+
+// resetToInitial rewinds vertex state and fork distribution to superstep
+// 0, for rollbacks that happen before any checkpoint exists.
+func (r *runner[V, M]) resetToInitial() {
+	var zero V
+	for v := 0; v < r.g.NumVertices(); v++ {
+		if r.prog.Init != nil {
+			r.values[v] = r.prog.Init(graph.VertexID(v), r.g)
+		} else {
+			r.values[v] = zero
+		}
+		r.halted[v] = false
+	}
+	forkIdx := 0
+	for _, w := range r.workers {
+		if w.mgr != nil && forkIdx < len(r.initialForks) {
+			w.mgr.Import(r.initialForks[forkIdx])
+			forkIdx++
+		}
+		w.recomputeUnhalted()
+	}
 }
 
 // tokenState reports the token positions at superstep s. Under TokenSingle

@@ -171,6 +171,20 @@ func (w *worker[V, M]) swapStores() {
 	w.active.Store(1 - w.active.Load())
 }
 
+// recomputeUnhalted resynchronizes the worker's unhalted counter with the
+// halted slice after a restore or rollback rewrites the halt flags.
+func (w *worker[V, M]) recomputeUnhalted() {
+	var n int64
+	for _, p := range w.parts {
+		for _, v := range w.r.pm.Vertices(p) {
+			if !w.r.halted[v] {
+				n++
+			}
+		}
+	}
+	w.unhalted.Store(n)
+}
+
 func (w *worker[V, M]) pendingMessages() int64 {
 	n := w.stores[0].NewCount()
 	if w.stores[1] != nil {

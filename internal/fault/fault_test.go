@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"serialgraph/internal/cluster"
+)
+
+func dataMsg(from, to cluster.WorkerID) cluster.Message {
+	return cluster.Message{From: from, To: to, Kind: cluster.Data, Bytes: 10}
+}
+
+func TestSeededDecisionsAreDeterministic(t *testing.T) {
+	plan := Plan{DropRate: 0.3, DuplicateRate: 0.2, StragglerRate: 0.1, StragglerDelay: time.Millisecond, Seed: 42}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 1000; i++ {
+		fa := a.OnSend(dataMsg(0, 1))
+		fb := b.OnSend(dataMsg(0, 1))
+		if fa != fb {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Drops == 0 || a.Stats().Duplicates == 0 || a.Stats().Delays == 0 {
+		t.Fatalf("expected some of each fault kind, got %+v", a.Stats())
+	}
+}
+
+func TestControlTrafficIsNeverTouched(t *testing.T) {
+	in := NewInjector(Plan{DropRate: 1, Seed: 1})
+	for _, k := range []cluster.Kind{cluster.Control, cluster.Ack} {
+		f := in.OnSend(cluster.Message{From: 0, To: 1, Kind: k})
+		if f != (cluster.Fate{}) {
+			t.Errorf("%v message got fate %+v", k, f)
+		}
+	}
+	if in.Stats().Drops != 0 {
+		t.Errorf("control drops counted: %+v", in.Stats())
+	}
+}
+
+func TestSuperstepCrashFiresOnce(t *testing.T) {
+	tr := cluster.New(3, cluster.LatencyModel{})
+	defer tr.Close()
+	for w := 0; w < 3; w++ {
+		tr.RegisterHandler(cluster.WorkerID(w), func(m cluster.Message) {})
+	}
+	in := NewInjector(Plan{Crashes: []Crash{{Worker: 2, AtSuperstep: 1}}})
+	if err := in.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	in.Attach(tr)
+
+	in.BeginSuperstep(0)
+	if !tr.Alive(2) {
+		t.Fatal("crash fired early")
+	}
+	in.BeginSuperstep(1)
+	if tr.Alive(2) {
+		t.Fatal("crash did not fire")
+	}
+	if !in.Exhausted() {
+		t.Fatal("schedule not exhausted")
+	}
+	// Recovery revives the worker and replays superstep 1; the crash must
+	// not fire again.
+	tr.Revive(2)
+	in.BeginSuperstep(1)
+	if !tr.Alive(2) {
+		t.Fatal("crash fired twice")
+	}
+	if got := in.Stats().CrashesFired; got != 1 {
+		t.Fatalf("CrashesFired = %d, want 1", got)
+	}
+}
+
+func TestMessageTriggeredCrash(t *testing.T) {
+	tr := cluster.New(2, cluster.LatencyModel{})
+	defer tr.Close()
+	for w := 0; w < 2; w++ {
+		tr.RegisterHandler(cluster.WorkerID(w), func(m cluster.Message) {})
+	}
+	in := NewInjector(Plan{Crashes: []Crash{{Worker: 1, AfterMessages: 5}}})
+	in.Attach(tr)
+	for i := 0; i < 10; i++ {
+		tr.Send(dataMsg(0, 1))
+	}
+	tr.WaitIdle()
+	if tr.Alive(1) {
+		t.Fatal("message-triggered crash never fired")
+	}
+	if in.Delivered() < 5 {
+		t.Fatalf("Delivered = %d, want >= 5", in.Delivered())
+	}
+	// Once dead, further data to the worker is dropped and accounted.
+	if d := tr.Stats().Load().DroppedMessages; d == 0 {
+		t.Fatal("no dropped messages counted after the crash")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		plan Plan
+		ok   bool
+	}{
+		{Plan{}, true},
+		{Plan{Crashes: []Crash{{Worker: 3, AtSuperstep: 0}}}, false}, // worker out of range for n=2
+		{Plan{Crashes: []Crash{{Worker: 0, AtSuperstep: -1}}}, false},
+		{Plan{DropRate: 1.5}, false},
+		{Plan{StragglerRate: 0.5}, false}, // no delay
+		{Plan{StragglerRate: 0.5, StragglerDelay: time.Millisecond}, true},
+		{Plan{Crashes: []Crash{{Worker: 1, AfterMessages: 10, AtSuperstep: -1}}}, true},
+	}
+	for i, c := range cases {
+		err := NewInjector(c.plan).Validate(2)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}

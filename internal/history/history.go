@@ -69,6 +69,17 @@ func (r *Recorder) Txns() []Txn {
 	return r.txns
 }
 
+// Reset discards every recorded transaction while keeping the logical
+// clock monotone. The engine calls it when a rollback discards the
+// executions recorded since the restored checkpoint: the surviving
+// history is the post-rollback suffix, which must still be serializable
+// on its own.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.txns = nil
+	r.mu.Unlock()
+}
+
 // Len returns the number of recorded transactions.
 func (r *Recorder) Len() int {
 	r.mu.Lock()

@@ -107,6 +107,18 @@ func (b *Buffer[M]) FlushAll() {
 	}
 }
 
+// Clear discards every buffered entry without sending it. The engine
+// calls it during a rollback: messages buffered when the cluster failed
+// belong to the discarded superstep and must not leak into the replay.
+func (b *Buffer[M]) Clear() {
+	for _, d := range b.perDest {
+		d.mu.Lock()
+		d.entries = nil
+		d.slot = nil
+		d.mu.Unlock()
+	}
+}
+
 // Pending returns the number of buffered entries for dest.
 func (b *Buffer[M]) Pending(dest int) int {
 	d := b.perDest[dest]

@@ -39,6 +39,7 @@ import (
 	"serialgraph/internal/algorithms"
 	"serialgraph/internal/cluster"
 	"serialgraph/internal/engine"
+	"serialgraph/internal/fault"
 	"serialgraph/internal/gas"
 	"serialgraph/internal/generate"
 	"serialgraph/internal/graph"
@@ -67,10 +68,20 @@ type (
 	GASProgram[V, M any] = model.GASProgram[V, M]
 
 	// Result reports what a run did: supersteps, vertex executions,
-	// compute time, and network/fork/token traffic.
+	// compute time, network/fork/token traffic, and — under fault
+	// injection — recovery counters (rollbacks, recomputed supersteps,
+	// wasted messages).
 	Result = engine.Result
 	// Violation is one failed serializability check.
 	Violation = history.Violation
+
+	// FaultPlan schedules deterministic fault injection for a run: worker
+	// crashes plus seeded message-level chaos (drops, duplicates,
+	// stragglers). Attach one via Options.Fault.
+	FaultPlan = fault.Plan
+	// CrashSpec schedules one worker crash within a FaultPlan, triggered
+	// at a superstep or after a number of delivered data messages.
+	CrashSpec = fault.Crash
 )
 
 // Message-store semantics for Program.Semantics.
@@ -181,6 +192,14 @@ type Options struct {
 	CheckpointEvery int
 	CheckpointDir   string
 	RestoreFrom     string
+	// Fault injects worker crashes and message chaos into the run (Run
+	// only; the GAS engine has no fault support). When a crash fires, the
+	// engine detects it at the next barrier, rolls the cluster back to the
+	// latest checkpoint (or to the initial state), and resumes within the
+	// same call; Result reports the recovery cost.
+	Fault *FaultPlan
+	// MaxRollbacks bounds in-run recovery attempts (default 16).
+	MaxRollbacks int
 }
 
 func (o Options) latency() cluster.LatencyModel {
@@ -214,7 +233,7 @@ func (o Options) engineConfig() (engine.Config, error) {
 	default:
 		return engine.Config{}, fmt.Errorf("serialgraph: unknown model %v", o.Model)
 	}
-	return engine.Config{
+	cfg := engine.Config{
 		Workers:             o.Workers,
 		PartitionsPerWorker: o.PartitionsPerWorker,
 		ThreadsPerWorker:    o.ThreadsPerWorker,
@@ -228,7 +247,12 @@ func (o Options) engineConfig() (engine.Config, error) {
 		CheckpointEvery:     o.CheckpointEvery,
 		CheckpointDir:       o.CheckpointDir,
 		RestoreFrom:         o.RestoreFrom,
-	}, nil
+		MaxRollbacks:        o.MaxRollbacks,
+	}
+	if o.Fault != nil {
+		cfg.Fault = fault.NewInjector(*o.Fault)
+	}
+	return cfg, nil
 }
 
 // Run executes a Pregel-style program over g and returns the final vertex

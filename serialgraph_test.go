@@ -215,3 +215,44 @@ func TestPublicNewAlgorithms(t *testing.T) {
 		t.Error("aggregated PR length wrong")
 	}
 }
+
+func TestPublicFaultInjectionRecovers(t *testing.T) {
+	g := GeneratePowerLaw(300, 5, 2.2, 9)
+	opt := Options{
+		Workers: 4, Model: Async, Technique: PartitionLocking, Seed: 9,
+	}
+	baseline, _, err := Run(g, SSSP(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.CheckpointEvery = 2
+	opt.CheckpointDir = t.TempDir()
+	opt.Fault = &FaultPlan{
+		Crashes: []CrashSpec{{Worker: 2, AtSuperstep: 3}},
+		Seed:    9,
+	}
+	dists, res, err := Run(g, SSSP(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks != 1 {
+		t.Errorf("Rollbacks = %d, want 1", res.Rollbacks)
+	}
+	for v, d := range dists {
+		if d != baseline[v] {
+			t.Fatalf("vertex %d: recovered dist %v != baseline %v", v, d, baseline[v])
+		}
+	}
+}
+
+func TestPublicFaultPlanValidated(t *testing.T) {
+	g := GeneratePowerLaw(50, 3, 2.2, 4)
+	_, _, err := Run(g, SSSP(0), Options{
+		Workers: 2, Model: Async,
+		Fault: &FaultPlan{Crashes: []CrashSpec{{Worker: 5, AtSuperstep: 1}}},
+	})
+	if err == nil {
+		t.Error("crash on worker 5 of a 2-worker cluster was accepted")
+	}
+}
