@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race chaos ci clean
+.PHONY: build vet test test-short test-race race chaos torture fuzz ci clean
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,26 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# Race CI job: vet plus the short suite under the race detector. Short
+# mode keeps the sampled torture sweep at 50 cases so the job stays fast.
+race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
 # Just the fault-injection/recovery harness, verbosely.
 chaos:
 	$(GO) test ./internal/engine/ -run Chaos -v
 	$(GO) test ./internal/fault/ -v
+
+# Long randomized model-checking sweep (nightly). Replay one case with:
+#   go test ./internal/torture -run TestTorture -torture.seed=0x...
+torture:
+	$(GO) test ./internal/torture/ -run 'TestTorture$$' -v -count=1 \
+		-torture.n=2000 -timeout=30m
+
+# Short fuzz pass over the graph loader/symmetrize targets.
+fuzz:
+	$(GO) test ./internal/graph/ -fuzz FuzzEdgeListSymmetrize -fuzztime=60s
 
 ci: build vet test-race
 

@@ -196,6 +196,9 @@ func (c Config) validate() error {
 		if c.Sync == TokenSingle || c.Sync == TokenDual {
 			return fmt.Errorf("engine: %v requires superstep-aligned token rotation; BAP has no global supersteps", c.Sync)
 		}
+		if c.Sync == VertexLockGiraph {
+			return fmt.Errorf("engine: BAP supports SyncNone and PartitionLock only; %v is not composed with barrierless execution", c.Sync)
+		}
 		if c.CheckpointEvery > 0 || c.RestoreFrom != "" {
 			return fmt.Errorf("engine: checkpointing requires global barriers; BAP has none")
 		}

@@ -148,6 +148,20 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	// start, then each checkpoint); a rollback charges everything sent
 	// since it to Result.WastedMessages.
 	restoreNet := r.tr.Stats().Load()
+	// Token techniques execute only the token holder's vertices in any one
+	// superstep, so a single superstep's aggregates cover a fraction of the
+	// graph and a MasterHalt tolerance test on them would fire spuriously
+	// (an idle worker's superstep aggregates to zero). MasterHalt is
+	// therefore consulted once per full token rotation, on the aggregates
+	// accumulated across the whole window.
+	haltWindow := 1
+	switch cfg.Sync {
+	case TokenSingle:
+		haltWindow = cfg.Workers
+	case TokenDual:
+		haltWindow = cfg.Workers * cfg.PartitionsPerWorker
+	}
+	windowAgg := make(map[string]float64)
 	for s := startSuperstep; s < cfg.MaxSupersteps; s++ {
 		if cfg.Fault != nil {
 			cfg.Fault.BeginSuperstep(s)
@@ -183,7 +197,8 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			}
 			res.RecomputedSupersteps += s + 1 - resume
 			restoreNet = r.tr.Stats().Load()
-			s = resume - 1 // the loop increment lands on resume
+			windowAgg = make(map[string]float64) // discarded supersteps replay
+			s = resume - 1                       // the loop increment lands on resume
 			continue
 		}
 		res.Supersteps = s + 1
@@ -229,9 +244,17 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			res.Converged = true
 			break
 		}
-		if r.prog.MasterHalt != nil && r.prog.MasterHalt(s, merged) {
-			res.Converged = true
-			break
+		if r.prog.MasterHalt != nil {
+			for k, v := range merged {
+				windowAgg[k] += v
+			}
+			if (s+1)%haltWindow == 0 {
+				if r.prog.MasterHalt(s, windowAgg) {
+					res.Converged = true
+					break
+				}
+				windowAgg = make(map[string]float64)
+			}
 		}
 	}
 	res.ComputeTime = time.Since(start)

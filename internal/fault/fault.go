@@ -75,6 +75,47 @@ func (p Plan) chaotic() bool {
 	return p.DropRate > 0 || p.DuplicateRate > 0 || p.StragglerRate > 0
 }
 
+func (p Plan) String() string {
+	if len(p.Crashes) == 0 && !p.chaotic() {
+		return "none"
+	}
+	return fmt.Sprintf("{crashes=%d drop=%.3f dup=%.3f straggle=%.3f seed=%#x}",
+		len(p.Crashes), p.DropRate, p.DuplicateRate, p.StragglerRate, p.Seed)
+}
+
+// RandomPlan draws a reproducible random fault schedule for a cluster of n
+// workers: possibly a couple of worker crashes (superstep- or message-
+// triggered) plus message-level chaos at modest rates. The same seed and
+// cluster size always produce the same plan, so a randomized chaos sweep
+// can be replayed from its seed. The returned plan always passes Validate
+// for a cluster of n workers.
+func RandomPlan(seed uint64, n int) Plan {
+	r := rand.New(rand.NewSource(int64(seed)))
+	p := Plan{Seed: seed}
+	if n > 1 && r.Float64() < 0.5 {
+		for i, k := 0, 1+r.Intn(2); i < k; i++ {
+			c := Crash{Worker: r.Intn(n)}
+			if r.Float64() < 0.3 {
+				c.AfterMessages = int64(10 + r.Intn(190))
+			} else {
+				c.AtSuperstep = r.Intn(5)
+			}
+			p.Crashes = append(p.Crashes, c)
+		}
+	}
+	if r.Float64() < 0.25 {
+		p.DropRate = 0.01 + r.Float64()*0.05
+	}
+	if r.Float64() < 0.35 {
+		p.DuplicateRate = 0.02 + r.Float64()*0.2
+	}
+	if r.Float64() < 0.35 {
+		p.StragglerRate = 0.02 + r.Float64()*0.15
+		p.StragglerDelay = time.Duration(20+r.Intn(200)) * time.Microsecond
+	}
+	return p
+}
+
 // Stats counts what the injector actually did.
 type Stats struct {
 	CrashesFired int64

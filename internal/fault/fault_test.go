@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,5 +121,64 @@ func TestValidate(t *testing.T) {
 		if (err == nil) != c.ok {
 			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
 		}
+	}
+}
+
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	for seed := uint64(1); seed < 200; seed++ {
+		for _, n := range []int{1, 2, 4} {
+			a, b := RandomPlan(seed, n), RandomPlan(seed, n)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("RandomPlan(%d, %d) not deterministic:\n%v\n%v", seed, n, a, b)
+			}
+			if err := NewInjector(a).Validate(n); err != nil {
+				t.Fatalf("RandomPlan(%d, %d) fails its own Validate: %v", seed, n, err)
+			}
+			if n == 1 && len(a.Crashes) > 0 {
+				t.Fatalf("RandomPlan(%d, 1) schedules a crash on a 1-worker cluster", seed)
+			}
+		}
+	}
+}
+
+func TestRandomPlanCoversEveryAxis(t *testing.T) {
+	// Over many seeds the generator must exercise each fault class at least
+	// once — a sampler axis that can never fire is dead weight.
+	var crashes, drops, dups, straggles, clean int
+	for seed := uint64(0); seed < 500; seed++ {
+		p := RandomPlan(seed, 4)
+		if len(p.Crashes) > 0 {
+			crashes++
+		}
+		if p.DropRate > 0 {
+			drops++
+		}
+		if p.DuplicateRate > 0 {
+			dups++
+		}
+		if p.StragglerRate > 0 {
+			straggles++
+		}
+		if len(p.Crashes) == 0 && !p.chaotic() {
+			clean++
+		}
+	}
+	for name, n := range map[string]int{
+		"crashes": crashes, "drops": drops, "duplicates": dups,
+		"stragglers": straggles, "clean": clean,
+	} {
+		if n == 0 {
+			t.Errorf("axis %q never sampled in 500 plans", name)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if s := (Plan{}).String(); s != "none" {
+		t.Errorf("empty plan String = %q, want none", s)
+	}
+	p := Plan{Crashes: []Crash{{Worker: 1, AtSuperstep: 2}}, DropRate: 0.5, Seed: 0xab}
+	if s := p.String(); !strings.Contains(s, "crashes=1") || !strings.Contains(s, "0xab") {
+		t.Errorf("plan String = %q missing fields", s)
 	}
 }

@@ -218,6 +218,50 @@ func Grid(rows, cols int) *graph.Graph {
 	return b.Build()
 }
 
+// Families lists the generator families Family accepts, in a stable order,
+// so randomized harnesses can sample the full shape axis.
+func Families() []string {
+	return []string{"powerlaw", "rmat", "erdos", "ring", "grid", "complete"}
+}
+
+// Family builds a graph of roughly n vertices (n >= 2) from the named
+// family with family-typical default parameters, deterministically for a
+// given seed. It is the single entry point used by the torture harness and
+// CLI tools to sample the graph-shape axis; unknown names panic.
+func Family(name string, n int, seed int64) *graph.Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("generate: Family needs n >= 2, got %d", n))
+	}
+	switch name {
+	case "powerlaw":
+		return PowerLaw(PowerLawConfig{N: n, AvgDegree: 5, Exponent: 2.2, Seed: seed})
+	case "rmat":
+		scale := 1
+		for 1<<scale < n {
+			scale++
+		}
+		return RMAT(RMATConfig{Scale: scale, EdgeFactor: 5, Seed: seed})
+	case "erdos":
+		m := 4 * n
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		return ErdosRenyi(n, m, seed)
+	case "ring":
+		return Ring(n)
+	case "grid":
+		rows := 2
+		for (rows+1)*(rows+1) <= n {
+			rows++
+		}
+		return Grid(rows, (n+rows-1)/rows)
+	case "complete":
+		return Complete(n)
+	default:
+		panic(fmt.Sprintf("generate: unknown family %q (want one of %v)", name, Families()))
+	}
+}
+
 // Complete generates the complete directed graph K_n (every ordered pair).
 // Dense graphs are the adversarial case for greedy coloring (§1).
 func Complete(n int) *graph.Graph {

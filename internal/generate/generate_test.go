@@ -173,3 +173,59 @@ func TestDatasetScale(t *testing.T) {
 		t.Errorf("vertex ratio %.2f, want ~5", ratio)
 	}
 }
+
+func TestFamilyBuildsEveryShape(t *testing.T) {
+	for _, name := range Families() {
+		for _, n := range []int{2, 8, 33, 100} {
+			g := Family(name, n, 7)
+			if g.NumVertices() < 2 {
+				t.Errorf("Family(%s, %d) built %d vertices", name, n, g.NumVertices())
+			}
+			if g.NumEdges() == 0 {
+				t.Errorf("Family(%s, %d) built an edgeless graph", name, n)
+			}
+			// Families approximate n; none should explode past a small
+			// multiple (rmat rounds up to the next power of two).
+			if g.NumVertices() > 2*n+4 {
+				t.Errorf("Family(%s, %d) built %d vertices, far over target", name, n, g.NumVertices())
+			}
+		}
+	}
+}
+
+func TestFamilyDeterministic(t *testing.T) {
+	for _, name := range Families() {
+		a, b := Family(name, 40, 13), Family(name, 40, 13)
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("Family(%s) not deterministic: %d/%d vs %d/%d vertices/edges",
+				name, a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+		}
+		for v := graph.VertexID(0); int(v) < a.NumVertices(); v++ {
+			av, bv := a.OutNeighbors(v), b.OutNeighbors(v)
+			if len(av) != len(bv) {
+				t.Fatalf("Family(%s) v%d degree differs across builds", name, v)
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("Family(%s) v%d adjacency differs across builds", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFamilyRejectsUnknownAndTiny(t *testing.T) {
+	for _, bad := range []func(){
+		func() { Family("nope", 10, 1) },
+		func() { Family("ring", 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -51,6 +51,76 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzEdgeListSymmetrize drives malformed edge lists — self-loops,
+// duplicate edges, out-of-range and negative external IDs — through the
+// loader and then through BuildUndirected, the path every
+// neighborhood-reading algorithm (coloring, WCC) depends on. On accepted
+// input the symmetrized graph must be simple (no self-loops, no duplicate
+// out-neighbors) and structurally symmetric (every edge has its reverse,
+// with consistent in-CSR slots).
+func FuzzEdgeListSymmetrize(f *testing.F) {
+	f.Add("0 1\n1 0\n")               // mutual pair collapses to one undirected edge
+	f.Add("3 3\n")                    // self-loop must be dropped
+	f.Add("0 1\n0 1\n0 1\n")          // duplicate directed edges
+	f.Add("42 7\n-5 42\n")            // arbitrary external IDs, negative included
+	f.Add("99999999999999999999 0\n") // overflows int64 parsing
+	f.Add("0 1 2.5\n1 0 7.25\n")      // conflicting weights on a mutual pair
+	f.Add("# c\n\n1 2\n2 1 0.5\n1 2 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, _, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Rebuild through a builder, as the torture harness and the
+		// undirected test helpers do, then symmetrize.
+		b := NewBuilder(g.NumVertices())
+		for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+			ws := g.OutWeights(u) // empty on unweighted graphs
+			for i, v := range g.OutNeighbors(u) {
+				if len(ws) > 0 {
+					b.AddWeightedEdge(u, v, ws[i])
+				} else {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		ug := b.BuildUndirected()
+
+		if ug.NumVertices() != g.NumVertices() {
+			t.Fatalf("symmetrize changed vertex count: %d -> %d", g.NumVertices(), ug.NumVertices())
+		}
+		totalOut := 0
+		for u := VertexID(0); int(u) < ug.NumVertices(); u++ {
+			seen := make(map[VertexID]bool)
+			totalOut += ug.OutDegree(u)
+			for _, v := range ug.OutNeighbors(u) {
+				if v == u {
+					t.Fatalf("self-loop %d->%d survived BuildUndirected", u, v)
+				}
+				if int(v) >= ug.NumVertices() || v < 0 {
+					t.Fatalf("neighbor %d out of range", v)
+				}
+				if seen[v] {
+					t.Fatalf("duplicate out-neighbor %d of %d", v, u)
+				}
+				seen[v] = true
+				if !ug.HasEdge(v, u) {
+					t.Fatalf("missing reverse edge %d->%d", v, u)
+				}
+				if _, ok := ug.InSlot(v, u); !ok {
+					t.Fatalf("in-CSR missing %d->%d", u, v)
+				}
+			}
+			if ug.OutDegree(u) != ug.InDegree(u) {
+				t.Fatalf("v%d degree asymmetry: out %d, in %d", u, ug.OutDegree(u), ug.InDegree(u))
+			}
+		}
+		if totalOut != ug.NumEdges() {
+			t.Fatalf("degree sum %d != edges %d", totalOut, ug.NumEdges())
+		}
+	})
+}
+
 // FuzzBinaryRoundTrip checks the binary decoder tolerates corrupt input
 // without panicking.
 func FuzzBinaryRoundTrip(f *testing.F) {

@@ -44,9 +44,10 @@ type Txn struct {
 
 // Recorder collects transactions from all workers of a run.
 type Recorder struct {
-	tick atomic.Int64
-	mu   sync.Mutex
-	txns []Txn
+	tick      atomic.Int64
+	resetTick atomic.Int64
+	mu        sync.Mutex
+	txns      []Txn
 }
 
 // NewRecorder creates an empty recorder.
@@ -73,12 +74,22 @@ func (r *Recorder) Txns() []Txn {
 // clock monotone. The engine calls it when a rollback discards the
 // executions recorded since the restored checkpoint: the surviving
 // history is the post-rollback suffix, which must still be serializable
-// on its own.
+// on its own. The clock is deliberately NOT rewound: post-rollback
+// transactions must tick strictly after every discarded one, so interval
+// overlap (C2) can never pair a replayed execution with a ghost of the
+// discarded timeline.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
+	r.resetTick.Store(r.tick.Load())
 	r.txns = nil
 	r.mu.Unlock()
 }
+
+// LastResetTick returns the logical clock value at the most recent Reset
+// (0 if the recorder was never reset). Every transaction recorded after
+// that Reset has Start > LastResetTick, which rollback regression tests
+// use to prove ticks stay strictly increasing across a recovery.
+func (r *Recorder) LastResetTick() int64 { return r.resetTick.Load() }
 
 // Len returns the number of recorded transactions.
 func (r *Recorder) Len() int {
