@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race race chaos torture fuzz ci clean
+.PHONY: build vet test test-short test-race race chaos torture fuzz bench-json bench-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,21 @@ torture:
 # Short fuzz pass over the graph loader/symmetrize targets.
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzEdgeListSymmetrize -fuzztime=60s
+
+# Machine-readable perf baseline: the Fig. 1 spectrum with per-technique
+# metrics snapshots and superstep phase traces. BENCH_NNNN.json files at
+# the repo root are successive perf-trajectory points made this way.
+BENCH_JSON ?= bench.json
+BENCH_SCALE ?= 0.1
+bench-json:
+	SERIALGRAPH_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchtab -exp fig1 \
+		-workers 16 -trace -json $(BENCH_JSON) -label "fig1 scale=$(BENCH_SCALE)"
+
+# CI benchmark smoke: one iteration of the Fig. 1 spectrum benchmark,
+# emitting the JSON report for artifact upload.
+bench-smoke:
+	SERIALGRAPH_SCALE=$(BENCH_SCALE) SERIALGRAPH_BENCH_JSON=$(BENCH_JSON) \
+		$(GO) test -run '^$$' -bench BenchmarkFig1Spectrum -benchtime 1x .
 
 ci: build vet test-race
 

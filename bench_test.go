@@ -11,18 +11,48 @@
 package serialgraph_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"serialgraph/internal/bench"
 )
 
+// jsonRows collects every measured row across benchmarks; TestMain writes
+// them to $SERIALGRAPH_BENCH_JSON after the run so CI can upload the
+// report as a perf-trajectory artifact.
+var (
+	jsonMu   sync.Mutex
+	jsonRows []bench.Row
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("SERIALGRAPH_BENCH_JSON"); path != "" && len(jsonRows) > 0 {
+		rep := bench.NewReport(defaultBenchConfig(), os.Getenv("SERIALGRAPH_BENCH_LABEL"), jsonRows)
+		if err := bench.WriteJSONFile(path, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d bench rows to %s\n", len(jsonRows), path)
+		}
+	}
+	os.Exit(code)
+}
+
 // benchConfig returns the reduced-scale default configuration.
 func benchConfig(b *testing.B) bench.Config {
 	b.Helper()
+	return defaultBenchConfig()
+}
+
+func defaultBenchConfig() bench.Config {
 	cfg := bench.Config{Scale: 0.5, Workers: []int{16}, Latency: 50 * time.Microsecond}
 	if s := os.Getenv("SERIALGRAPH_SCALE"); s != "" {
 		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
@@ -71,6 +101,9 @@ func logRows(b *testing.B, rows []bench.Row) {
 	var sb strings.Builder
 	bench.Print(&sb, rows)
 	b.Log("\n" + sb.String())
+	jsonMu.Lock()
+	jsonRows = append(jsonRows, rows...)
+	jsonMu.Unlock()
 }
 
 // BenchmarkTable1Datasets regenerates Table 1: dataset construction and

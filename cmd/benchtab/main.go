@@ -9,6 +9,12 @@
 //	              ablation-partitions|ablation-degenerate|ablation-partitioner|
 //	              recovery|all
 //	         [-scale 0.5] [-workers 16,32] [-latency 50us] [-v]
+//	         [-json bench.json] [-label v3] [-trace]
+//
+// With -json, every measured row (including its metrics snapshot, and
+// with -trace a per-superstep phase breakdown) is also written to the
+// given file as a machine-readable perf-trajectory point; the BENCH_NNNN
+// files at the repo root are produced this way via `make bench-json`.
 package main
 
 import (
@@ -30,6 +36,9 @@ func main() {
 	workersFlag := flag.String("workers", "16,32", "comma-separated cluster sizes")
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated one-way network latency")
 	verbose := flag.Bool("v", false, "print progress")
+	jsonOut := flag.String("json", "", "also write all measured rows (with metrics) to this file as JSON")
+	label := flag.String("label", "", "free-form provenance label recorded in the JSON report")
+	trace := flag.Bool("trace", false, "record a per-superstep phase breakdown in each row (slower)")
 	flag.Parse()
 
 	var workers []int
@@ -40,12 +49,17 @@ func main() {
 		}
 		workers = append(workers, w)
 	}
-	cfg := bench.Config{Scale: *scale, Workers: workers, Latency: *latency}
+	cfg := bench.Config{Scale: *scale, Workers: workers, Latency: *latency, Trace: *trace}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
 
 	out := os.Stdout
+	var jsonRows []bench.Row
+	keep := func(rows []bench.Row) []bench.Row {
+		jsonRows = append(jsonRows, rows...)
+		return rows
+	}
 	runOne := func(name string) {
 		switch name {
 		case "table1":
@@ -53,53 +67,52 @@ func main() {
 			bench.Table1(out, cfg)
 		case "fig1":
 			header(out, "Figure 1 (measured): parallelism vs communication spectrum, coloring on OR")
-			rows := bench.Fig1Spectrum(cfg)
-			printSpectrum(out, rows)
+			printSpectrum(out, keep(bench.Fig1Spectrum(cfg)))
 		case "fig2", "fig3":
 			header(out, "Figures 2 and 3: coloring non-termination on the 4-vertex example")
 			bench.Fig23(out)
 		case "fig6a":
 			header(out, "Figure 6a: graph coloring computation times")
-			bench.Print(out, bench.Fig6("coloring", cfg))
+			bench.Print(out, keep(bench.Fig6("coloring", cfg)))
 		case "fig6b":
 			header(out, "Figure 6b: PageRank computation times")
-			bench.Print(out, bench.Fig6("pagerank", cfg))
+			bench.Print(out, keep(bench.Fig6("pagerank", cfg)))
 		case "fig6c":
 			header(out, "Figure 6c: SSSP computation times")
-			bench.Print(out, bench.Fig6("sssp", cfg))
+			bench.Print(out, keep(bench.Fig6("sssp", cfg)))
 		case "fig6d":
 			header(out, "Figure 6d: WCC computation times")
-			bench.Print(out, bench.Fig6("wcc", cfg))
+			bench.Print(out, keep(bench.Fig6("wcc", cfg)))
 		case "giraphx":
 			header(out, "§7.3: Giraphx (in-algorithm) vs system-level techniques, coloring on OR")
-			bench.Print(out, bench.Giraphx(cfg))
+			bench.Print(out, keep(bench.Giraphx(cfg)))
 		case "ablation-partitions":
 			header(out, "Ablation (§7.1): partitions-per-worker sweep, partition-based locking")
-			bench.Print(out, bench.AblationPartitions(cfg))
+			bench.Print(out, keep(bench.AblationPartitions(cfg)))
 		case "ablation-degenerate":
 			header(out, "Ablation (§5.4): partition-based locking degenerating to vertex granularity")
-			bench.Print(out, bench.AblationDegenerate(cfg))
+			bench.Print(out, keep(bench.AblationDegenerate(cfg)))
 		case "ablation-partitioner":
 			header(out, "Ablation: partitioning quality (hash vs range vs LDG)")
-			bench.Print(out, bench.AblationPartitioner(cfg))
+			bench.Print(out, keep(bench.AblationPartitioner(cfg)))
 		case "ablation-combining":
 			header(out, "Ablation: sender-side combining (Giraph combiner in the buffer cache)")
-			bench.Print(out, bench.AblationCombining(cfg))
+			bench.Print(out, keep(bench.AblationCombining(cfg)))
 		case "ablation-skip":
 			header(out, "Ablation (§5.4): halted-partition skip optimization")
-			bench.Print(out, bench.AblationSkip(cfg))
+			bench.Print(out, keep(bench.AblationSkip(cfg)))
 		case "mis":
 			header(out, "Extension: serializable greedy MIS vs Luby's randomized MIS")
-			bench.Print(out, bench.MISComparison(cfg))
+			bench.Print(out, keep(bench.MISComparison(cfg)))
 		case "ablation-bap":
 			header(out, "Ablation: barriered AP vs barrierless BAP (Giraph Unchained), partition locking")
-			bench.Print(out, bench.AblationBAP(cfg))
+			bench.Print(out, keep(bench.AblationBAP(cfg)))
 		case "exclusion":
 			header(out, "§7 exclusion: vertex-based locking on Giraph async vs GraphLab async")
-			bench.Print(out, bench.Exclusion(cfg))
+			bench.Print(out, keep(bench.Exclusion(cfg)))
 		case "recovery":
 			header(out, "§6.4: checkpoint overhead and crash-recovery cost, SSSP on OR")
-			bench.Print(out, bench.RecoveryOverhead(cfg))
+			bench.Print(out, keep(bench.RecoveryOverhead(cfg)))
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
@@ -115,9 +128,16 @@ func main() {
 			runOne(name)
 			fmt.Fprintln(out)
 		}
-		return
+	} else {
+		runOne(*exp)
 	}
-	runOne(*exp)
+
+	if *jsonOut != "" {
+		if err := bench.WriteJSONFile(*jsonOut, bench.NewReport(cfg, *label, jsonRows)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(jsonRows), *jsonOut)
+	}
 }
 
 func header(w io.Writer, title string) {

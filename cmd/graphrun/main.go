@@ -7,13 +7,28 @@
 //	graphrun -alg coloring -graph g.bin -workers 16 -technique partition-locking
 //	graphrun -alg pagerank -dataset TW -scale 0.5 -technique dual-token -eps 0.1
 //	graphrun -alg sssp -dataset OR -technique vertex-locking   (GAS engine)
+//
+// Observability (see README "Profiling a run"):
+//
+//	-metrics-out m.json   write the run's metrics snapshot (counters,
+//	                      phase timers, histograms) as JSON
+//	-trace-out t.csv      write a per-superstep CSV (wall time, messages,
+//	                      phase breakdown); implies detailed stats
+//	-pprof localhost:6060 serve net/http/pprof for the duration of the run
+//	-cpuprofile cpu.out   write a CPU profile covering the run
+//	-memprofile mem.out   write a heap profile taken after the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"serialgraph"
@@ -43,7 +58,30 @@ func main() {
 	dupRate := flag.Float64("dup-rate", 0, "probability of duplicating each data message")
 	stragglerRate := flag.Float64("straggler-rate", 0, "probability of delaying each data message")
 	stragglerDelay := flag.Duration("straggler-delay", 0, "extra latency for straggler messages")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file as JSON")
+	traceOut := flag.String("trace-out", "", "write a per-superstep phase/message CSV to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the run (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Println(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var g *serialgraph.Graph
 	var err error
@@ -83,6 +121,7 @@ func main() {
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
 		Technique: technique, NetworkLatency: *latency, Seed: 1,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
+		DetailedStats:   *traceOut != "",
 	}
 
 	// Assemble the fault plan, if any fault flag is set.
@@ -240,6 +279,54 @@ func main() {
 		}
 		fmt.Printf("wrote values to %s\n", *out)
 	}
+
+	if *metricsOut != "" {
+		if technique == serialgraph.VertexLocking {
+			log.Println("note: the GAS engine is not metrics-instrumented; the snapshot will be zeros")
+		}
+		buf, err := json.MarshalIndent(res.Metrics, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-superstep trace to %s\n", len(res.SuperstepStats), *traceOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote heap profile to %s\n", *memProfile)
+	}
+}
+
+// writeTrace renders the per-superstep stats as CSV, one row per
+// superstep, with the phase breakdown in nanoseconds.
+func writeTrace(path string, res serialgraph.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "superstep,duration_ns,executions,data_msgs,ctrl_msgs,compute_ns,local_delivery_ns,remote_flush_ns,barrier_wait_ns")
+	for i, st := range res.SuperstepStats {
+		fmt.Fprintf(f, "%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			i, st.Duration.Nanoseconds(), st.Executions, st.DataMsgs, st.CtrlMsgs,
+			st.ComputeNs, st.LocalDeliveryNs, st.RemoteFlushNs, st.BarrierWaitNs)
+	}
+	return f.Close()
 }
 
 func countDistinct(vals []int32) int {

@@ -26,27 +26,38 @@ import (
 	"serialgraph/internal/gas"
 	"serialgraph/internal/generate"
 	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/model"
 )
 
-// Row is one measurement.
+// Row is one measurement. The JSON field names are a stable schema:
+// perf-trajectory tooling diffs BENCH_NNNN.json files across commits, so
+// renaming a key is a breaking change. Time-valued keys end in _ns so
+// golden tests can mask exactly the wall-clock-dependent fields.
 type Row struct {
-	Experiment string
-	Algorithm  string
-	Dataset    string
-	Workers    int
-	Technique  string
-	Time       time.Duration
-	Supersteps int
-	Executions int64
-	DataMsgs   int64
-	DataBytes  int64
-	CtrlMsgs   int64
-	Forks      int64
-	MaxConc    int64
-	Rollbacks  int
-	Recomputed int
-	Converged  bool
+	Experiment string        `json:"experiment"`
+	Algorithm  string        `json:"algorithm"`
+	Dataset    string        `json:"dataset"`
+	Workers    int           `json:"workers"`
+	Technique  string        `json:"technique"`
+	Time       time.Duration `json:"time_ns"`
+	Supersteps int           `json:"supersteps"`
+	Executions int64         `json:"executions"`
+	DataMsgs   int64         `json:"data_msgs"`
+	DataBytes  int64         `json:"data_bytes"`
+	CtrlMsgs   int64         `json:"ctrl_msgs"`
+	Forks      int64         `json:"forks"`
+	MaxConc    int64         `json:"max_conc"`
+	Rollbacks  int           `json:"rollbacks"`
+	Recomputed int           `json:"recomputed"`
+	Converged  bool          `json:"converged"`
+	// Metrics is the engine's registry snapshot: counters, aggregate
+	// phase timers, histograms. Nil for GAS rows — the GAS engine is not
+	// instrumented.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Trace is the per-superstep phase breakdown, present when the run
+	// was made with Config.Trace (engine DetailedStats).
+	Trace []engine.SuperstepStat `json:"trace,omitempty"`
 }
 
 // Config tunes the whole suite.
@@ -68,6 +79,10 @@ type Config struct {
 	// Threshold pairs for PageRank per dataset, as in §7.2.2.
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Trace turns on the engine's per-superstep stats (DetailedStats) so
+	// rows carry a superstep-by-superstep phase breakdown. Costs one
+	// registry snapshot per superstep; leave off for timing runs.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,7 +172,7 @@ func (gc *graphCache) undirected(name string) *graph.Graph {
 func (c Config) runPregel(exp, alg, ds string, g *graph.Graph, workers int, sync engine.Sync, mk func() any) Row {
 	cfg := engine.Config{
 		Workers: workers, Mode: engine.Async, Sync: sync,
-		Latency: c.latencyModel(), Seed: 1,
+		Latency: c.latencyModel(), Seed: 1, DetailedStats: c.Trace,
 	}
 	var res engine.Result
 	var err error
@@ -172,12 +187,14 @@ func (c Config) runPregel(exp, alg, ds string, g *graph.Graph, workers int, sync
 	if err != nil {
 		panic(err)
 	}
+	m := res.Metrics
 	return Row{
 		Experiment: exp, Algorithm: alg, Dataset: ds, Workers: workers,
 		Technique: sync.String(), Time: res.ComputeTime, Supersteps: res.Supersteps,
 		Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 		CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends, MaxConc: res.MaxConcurrency,
 		Converged: res.Converged,
+		Metrics:   &m, Trace: res.SuperstepStats,
 	}
 }
 

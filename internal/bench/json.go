@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReportSchema names the JSON layout emitted by WriteJSON. Bump it only
+// on breaking key changes; perf-trajectory tooling keys off it.
+const ReportSchema = "serialgraph-bench/v1"
+
+// Report is the machine-readable form of a benchmark run: one perf
+// trajectory point. BENCH_NNNN.json files at the repo root are Reports.
+type Report struct {
+	Schema string  `json:"schema"`
+	Scale  float64 `json:"scale"`
+	// Workers is the cluster-size list the suite ran with.
+	Workers []int `json:"workers"`
+	// Label is free-form provenance (commit, issue number, machine).
+	Label string `json:"label,omitempty"`
+	Rows  []Row  `json:"rows"`
+}
+
+// NewReport bundles rows with the configuration that produced them.
+func NewReport(cfg Config, label string, rows []Row) Report {
+	cfg = cfg.withDefaults()
+	return Report{Schema: ReportSchema, Scale: cfg.Scale, Workers: cfg.Workers, Label: label, Rows: rows}
+}
+
+// WriteJSON renders the report indented with a trailing newline, ready to
+// check in. Key order is fixed by the struct tags and the metrics
+// snapshot's sorted marshaling, so diffs between trajectory points are
+// minimal.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONFile writes the report to path (0644, truncating).
+func WriteJSONFile(path string, rep Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := WriteJSON(f, rep); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// MaskTimes returns a copy of raw JSON with every wall-clock-dependent
+// field collapsed, for golden-file comparison: any field whose key ends
+// in "_ns" becomes the scalar 0, whether it held a number or a whole
+// structure (a time-valued histogram's bucket keys depend on the wall
+// clock too, so zeroing its values would not be enough). Counter and
+// topology fields pass through untouched, so a dropped counter still
+// breaks the golden.
+func MaskTimes(raw []byte) ([]byte, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("bench: mask: %w", err)
+	}
+	return json.MarshalIndent(maskValue(v), "", "  ")
+}
+
+func maskValue(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			if hasNsSuffix(k) {
+				out[k] = 0
+			} else {
+				out[k] = maskValue(e)
+			}
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = maskValue(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+func hasNsSuffix(k string) bool {
+	return strings.HasSuffix(k, "_ns")
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/engine"
+	"serialgraph/internal/generate"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenRows produces a run whose every non-wall-clock field is
+// deterministic: BSP delivers all messages at barriers, one thread per
+// worker removes scheduling races, and the seed pins the partitioning.
+func goldenRows(t *testing.T) []Row {
+	t.Helper()
+	g := generate.PowerLaw(generate.PowerLawConfig{N: 120, AvgDegree: 5, Exponent: 2.3, Seed: 7})
+	_, res, _, err := engine.Run(g, algorithms.SSSP(0), engine.Config{
+		Workers: 3, ThreadsPerWorker: 1, Mode: engine.BSP, Sync: engine.SyncNone,
+		Seed: 11, DetailedStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	return []Row{{
+		Experiment: "golden", Algorithm: "sssp", Dataset: "powerlaw-120",
+		Workers: 3, Technique: engine.SyncNone.String(),
+		Time: res.ComputeTime, Supersteps: res.Supersteps, Executions: res.Executions,
+		DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
+		CtrlMsgs: res.Net.ControlMessages, Converged: res.Converged,
+		Metrics: &m, Trace: res.SuperstepStats,
+	}}
+}
+
+func goldenJSON(t *testing.T) []byte {
+	t.Helper()
+	rep := NewReport(Config{Scale: 1, Workers: []int{3}}, "golden", goldenRows(t))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	masked, err := MaskTimes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(masked, '\n')
+}
+
+// TestGoldenJSON pins the benchtab JSON schema and every deterministic
+// value in it. A dropped counter, a renamed key, or a lost metrics
+// snapshot changes the masked output and fails against testdata. Rerun
+// with -update after an intentional schema change.
+func TestGoldenJSON(t *testing.T) {
+	got := goldenJSON(t)
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/bench -run TestGoldenJSON -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("masked bench JSON diverged from %s.\nIf the schema change is intentional, rerun with -update.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenJSONDeterministic runs the golden workload twice and demands
+// identical masked output — the property the golden file relies on.
+func TestGoldenJSONDeterministic(t *testing.T) {
+	a, b := goldenJSON(t), goldenJSON(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("masked output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestMaskTimes checks the masking rule on a handcrafted document: any
+// field keyed with an _ns suffix collapses to scalar 0 — including whole
+// time-valued histograms, whose bucket keys are wall-clock dependent —
+// and everything else survives.
+func TestMaskTimes(t *testing.T) {
+	in := []byte(`{"time_ns": 123, "count": 5, "histograms": {"lock_wait_ns": {"count": 9, "buckets": {"17": 2}}, "batch_entries": {"count": 4}}, "rows": [{"compute_ns": 7, "executions": 3}]}`)
+	out, err := MaskTimes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v["time_ns"].(float64) != 0 {
+		t.Errorf("time_ns not masked: %v", v["time_ns"])
+	}
+	if v["count"].(float64) != 5 {
+		t.Errorf("count clobbered: %v", v["count"])
+	}
+	hists := v["histograms"].(map[string]any)
+	if hists["lock_wait_ns"].(float64) != 0 {
+		t.Errorf("time-valued histogram not collapsed: %v", hists["lock_wait_ns"])
+	}
+	if hists["batch_entries"].(map[string]any)["count"].(float64) != 4 {
+		t.Errorf("count-valued histogram clobbered: %v", hists["batch_entries"])
+	}
+	row := v["rows"].([]any)[0].(map[string]any)
+	if row["compute_ns"].(float64) != 0 || row["executions"].(float64) != 3 {
+		t.Errorf("row masking wrong: %v", row)
+	}
+}

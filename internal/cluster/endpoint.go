@@ -88,8 +88,10 @@ func (e *Endpoint) SendCtrl(to WorkerID, payload any) {
 
 // FlushWait sends a flush marker to each worker in targets and blocks until
 // every one has acknowledged it, guaranteeing (by lane FIFO order) that all
-// data previously sent to those workers has been delivered.
-func (e *Endpoint) FlushWait(targets []WorkerID) {
+// data previously sent to those workers has been delivered. It returns the
+// number of markers sent (targets minus self), so callers can account the
+// control traffic they generated.
+func (e *Endpoint) FlushWait(targets []WorkerID) int {
 	chans := make([]chan struct{}, 0, len(targets))
 	for _, to := range targets {
 		if to == e.id {
@@ -107,4 +109,5 @@ func (e *Endpoint) FlushWait(targets []WorkerID) {
 	for _, ch := range chans {
 		<-ch
 	}
+	return len(chans)
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"serialgraph/internal/metrics"
 )
 
 // runBAP executes the barrierless asynchronous parallel model of Giraph
@@ -105,9 +107,15 @@ func (w *worker[V, M]) pendingBuffered() bool {
 
 // runLogicalSuperstep is one pass over the worker's partitions under BAP:
 // the same partition execution as the barriered engine, followed by a
-// flush, but with a per-worker superstep counter and no rendezvous.
+// flush, but with a per-worker superstep counter and no rendezvous. With
+// no master barrier to do it, the worker folds its own step metrics: the
+// supersteps counter accumulates per-worker logical supersteps (so it
+// exceeds Result.Supersteps, which is the max across workers), and
+// barrier-wait stays zero by construction — BAP has no barriers.
 func (w *worker[V, M]) runLogicalSuperstep(th *thread[V, M], step int) {
 	th.superstep = step
+	reg := w.r.reg
+	computeStart := time.Now()
 	queue := make(chan int, len(w.parts))
 	for i := range w.parts {
 		queue <- i
@@ -122,8 +130,14 @@ func (w *worker[V, M]) runLogicalSuperstep(th *thread[V, M], step int) {
 			for i := range queue {
 				local.runPartition(w.parts[i])
 			}
+			local.fold()
 		}()
 	}
 	wg.Wait()
+	flushStart := time.Now()
+	reg.AddPhase(metrics.PhaseCompute, flushStart.Sub(computeStart))
 	w.buf.FlushAll()
+	reg.AddPhase(metrics.PhaseRemoteFlush, time.Since(flushStart))
+	reg.Add(metrics.Supersteps, 1)
+	reg.Observe(metrics.HistSuperstepWall, int64(time.Since(computeStart)))
 }

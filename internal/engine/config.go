@@ -15,6 +15,7 @@ import (
 	"serialgraph/internal/cluster"
 	"serialgraph/internal/fault"
 	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/partition"
 )
 
@@ -161,6 +162,11 @@ type Config struct {
 	// DetailedStats records per-superstep durations and execution counts
 	// into Result.SuperstepStats.
 	DetailedStats bool
+	// Metrics optionally supplies the run's metrics registry. When nil the
+	// engine creates a private one; supplying a registry lets callers share
+	// it across runs or observe counters live while the run executes
+	// (Result.Metrics is a snapshot taken at the end either way).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -254,12 +260,26 @@ type Result struct {
 	// SuperstepStats holds per-superstep detail when
 	// Config.DetailedStats is set.
 	SuperstepStats []SuperstepStat
+	// Metrics is the run's final metrics snapshot: counters, phase
+	// timings, and histograms (see internal/metrics for the taxonomy).
+	Metrics metrics.Snapshot
 }
 
-// SuperstepStat is per-superstep detail for Result.SuperstepStats.
+// SuperstepStat is per-superstep detail for Result.SuperstepStats. The
+// phase fields are the per-superstep deltas of the registry's phase
+// accumulators, summed across workers; Duration is the master's wall time
+// for the superstep. JSON keys of wall-clock-valued fields end in "_ns"
+// (Duration marshals as integer nanoseconds).
 type SuperstepStat struct {
-	Duration   time.Duration
-	Executions int64
-	DataMsgs   int64
-	CtrlMsgs   int64
+	Duration   time.Duration `json:"duration_ns"`
+	Executions int64         `json:"executions"`
+	DataMsgs   int64         `json:"data_msgs"`
+	CtrlMsgs   int64         `json:"ctrl_msgs"`
+	// ComputeNs..BarrierWaitNs are summed across workers, so each can
+	// exceed Duration on multi-worker runs; per worker, compute + flush +
+	// barrier-wait <= the superstep wall time.
+	ComputeNs       int64 `json:"compute_ns"`
+	LocalDeliveryNs int64 `json:"local_delivery_ns"`
+	RemoteFlushNs   int64 `json:"remote_flush_ns"`
+	BarrierWaitNs   int64 `json:"barrier_wait_ns"`
 }

@@ -7,6 +7,7 @@ import (
 
 	"serialgraph/internal/chandy"
 	"serialgraph/internal/checkpoint"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/msgstore"
 
 	"serialgraph/internal/cluster"
@@ -23,6 +24,7 @@ type runner[V, M any] struct {
 	cfg  Config
 	pm   *partition.Map
 	tr   *cluster.Transport
+	reg  *metrics.Registry
 
 	workers []*worker[V, M]
 
@@ -68,7 +70,10 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		pm = partition.NewHash(g, p, cfg.Workers, cfg.Seed)
 	}
 
-	r := &runner[V, M]{g: g, prog: prog, cfg: cfg, pm: pm}
+	r := &runner[V, M]{g: g, prog: prog, cfg: cfg, pm: pm, reg: cfg.Metrics}
+	if r.reg == nil {
+		r.reg = metrics.New()
+	}
 	n := g.NumVertices()
 	r.values = make([]V, n)
 	r.halted = make([]bool, n)
@@ -139,6 +144,7 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 				res.TokenSends += st.TokenSends
 			}
 		}
+		res.Metrics = r.reg.Snapshot()
 		return r.values, res, r.rec, nil
 	}
 	for _, w := range r.workers {
@@ -169,6 +175,10 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		stepStart := time.Now()
 		execsBefore := r.executions.Load()
 		netBefore := r.tr.Stats().Load()
+		var phaseBefore metrics.Snapshot
+		if cfg.DetailedStats {
+			phaseBefore = r.reg.Snapshot()
+		}
 		for _, w := range r.workers {
 			w.startCh <- s
 		}
@@ -176,6 +186,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			<-w.doneCh
 		}
 		r.tr.WaitIdle()
+		// Superstep metrics are recorded before the failure check: a
+		// superstep a rollback later discards was still executed, so the
+		// supersteps counter can exceed Result.Supersteps on faulty runs.
+		stepWall := time.Since(stepStart)
+		r.reg.Add(metrics.Supersteps, 1)
+		r.reg.Observe(metrics.HistSuperstepWall, int64(stepWall))
+		r.noteBarrier(s, stepStart)
 
 		// Failure detection at the barrier (§6.4): in a real Giraph
 		// deployment the master notices a missed heartbeat; in the
@@ -185,6 +202,7 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		// never capture a superstep a dead worker participated in.
 		if dead := r.tr.DeadWorkers(); len(dead) > 0 {
 			res.Rollbacks++
+			r.reg.Add(metrics.Rollbacks, 1)
 			if res.Rollbacks > cfg.MaxRollbacks {
 				r.shutdownWorkers()
 				return nil, Result{}, nil, fmt.Errorf("engine: workers %v still failing after %d rollbacks (MaxRollbacks)", dead, cfg.MaxRollbacks)
@@ -204,11 +222,16 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		res.Supersteps = s + 1
 		if cfg.DetailedStats {
 			net := r.tr.Stats().Load().Sub(netBefore)
+			cur := r.reg.Snapshot()
 			res.SuperstepStats = append(res.SuperstepStats, SuperstepStat{
-				Duration:   time.Since(stepStart),
-				Executions: r.executions.Load() - execsBefore,
-				DataMsgs:   net.DataMessages,
-				CtrlMsgs:   net.ControlMessages,
+				Duration:        stepWall,
+				Executions:      r.executions.Load() - execsBefore,
+				DataMsgs:        net.DataMessages,
+				CtrlMsgs:        net.ControlMessages,
+				ComputeNs:       cur.PhaseNs[metrics.PhaseCompute] - phaseBefore.PhaseNs[metrics.PhaseCompute],
+				LocalDeliveryNs: cur.PhaseNs[metrics.PhaseLocalDelivery] - phaseBefore.PhaseNs[metrics.PhaseLocalDelivery],
+				RemoteFlushNs:   cur.PhaseNs[metrics.PhaseRemoteFlush] - phaseBefore.PhaseNs[metrics.PhaseRemoteFlush],
+				BarrierWaitNs:   cur.PhaseNs[metrics.PhaseBarrierWait] - phaseBefore.PhaseNs[metrics.PhaseBarrierWait],
 			})
 		}
 
@@ -234,10 +257,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			return nil, Result{}, nil, err
 		}
 		if cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
+			cpStart := time.Now()
 			if err := r.takeCheckpoint(s); err != nil {
 				r.shutdownWorkers()
 				return nil, Result{}, nil, err
 			}
+			r.reg.AddPhase(metrics.PhaseCheckpoint, time.Since(cpStart))
+			r.reg.Add(metrics.Checkpoints, 1)
 			restoreNet = r.tr.Stats().Load()
 		}
 		if unhalted == 0 && pending == 0 {
@@ -268,8 +294,41 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			res.TokenSends += st.TokenSends
 		}
 	}
+	res.Metrics = r.reg.Snapshot()
 	r.shutdownWorkers()
 	return r.values, res, r.rec, nil
+}
+
+// noteBarrier converts the spread of worker finish times at superstep s's
+// barrier into metrics: each worker's barrier-wait is the gap between its
+// own finish and the cluster-wide last finish (zero, by construction, for
+// the last finisher). Under the token-passing techniques the same spread
+// also yields the token accounting — the holder's superstep time counts
+// as token_hold_ns and the non-holders' barrier waits as token_idle_ns,
+// quantifying §4.2's parallelism sacrifice.
+func (r *runner[V, M]) noteBarrier(s int, stepStart time.Time) {
+	last := r.workers[0].finish
+	for _, w := range r.workers[1:] {
+		if w.finish.After(last) {
+			last = w.finish
+		}
+	}
+	holder, _ := r.tokenState(s)
+	var idle time.Duration
+	for i, w := range r.workers {
+		bw := last.Sub(w.finish)
+		r.reg.AddPhase(metrics.PhaseBarrierWait, bw)
+		if holder >= 0 {
+			if i == holder {
+				r.reg.Add(metrics.TokenHoldNs, int64(w.finish.Sub(stepStart)))
+			} else {
+				idle += bw
+			}
+		}
+	}
+	if holder >= 0 {
+		r.reg.Add(metrics.TokenIdleNs, int64(idle))
+	}
 }
 
 // applyMutations rebuilds the graph and message stores if any worker

@@ -3,11 +3,13 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"serialgraph/internal/chandy"
 	"serialgraph/internal/cluster"
 	"serialgraph/internal/graph"
 	"serialgraph/internal/history"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/model"
 	"serialgraph/internal/msgstore"
 	"serialgraph/internal/partition"
@@ -44,6 +46,13 @@ type worker[V, M any] struct {
 	// slice from other goroutines.
 	unhalted atomic.Int64
 
+	// finish is when this worker completed its superstep (threads joined
+	// and buffers flushed). Written in runSuperstep, read by the master
+	// after the doneCh handshake, which provides the happens-before edge;
+	// the master turns the spread of finish times into barrier-wait (and,
+	// under token passing, token hold/idle) accounting.
+	finish time.Time
+
 	startCh chan int
 	doneCh  chan struct{}
 }
@@ -76,6 +85,7 @@ func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
 		func(dest int, batch []msgstore.Entry[M], bytes int) {
 			w.ep.SendData(cluster.WorkerID(dest), batch, bytes)
 		})
+	w.buf.SetMetrics(r.reg)
 	if r.prog.Semantics == model.Combine && r.prog.Combine != nil && !r.cfg.DisableSenderCombine {
 		// Giraph applies the user combiner inside the buffer cache too, so
 		// a hub vertex receives one combined message per sending worker.
@@ -91,11 +101,10 @@ func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
 // enforcing condition C1 for the requesting partition.
 func (w *worker[V, M]) initLockManager(partNeighbors [][]partition.ID) {
 	ownerOf := func(p chandy.PhilID) int { return w.r.pm.WorkerOfPartition(partition.ID(p)) }
-	sendCtrl := func(toWorker int, c chandy.Ctrl) {
-		w.ep.SendCtrl(cluster.WorkerID(toWorker), c)
-	}
+	sendCtrl := w.sendChandyCtrl
 	preHandoff := func(toWorker int) { w.buf.FlushTo(toWorker) }
 	w.mgr = chandy.NewManager(w.id, ownerOf, sendCtrl, preHandoff)
+	w.mgr.SetMetrics(w.r.reg)
 	for _, p := range w.parts {
 		nbs := make([]chandy.PhilID, 0, len(partNeighbors[p]))
 		for _, q := range partNeighbors[p] {
@@ -112,11 +121,10 @@ func (w *worker[V, M]) initLockManager(partNeighbors [][]partition.ID) {
 // execution.
 func (w *worker[V, M]) initVertexLockManager() {
 	ownerOf := func(p chandy.PhilID) int { return w.r.pm.WorkerOf(graph.VertexID(p)) }
-	sendCtrl := func(toWorker int, c chandy.Ctrl) {
-		w.ep.SendCtrl(cluster.WorkerID(toWorker), c)
-	}
+	sendCtrl := w.sendChandyCtrl
 	preHandoff := func(toWorker int) { w.buf.FlushTo(toWorker) }
 	w.mgr = chandy.NewManager(w.id, ownerOf, sendCtrl, preHandoff)
+	w.mgr.SetMetrics(w.r.reg)
 	for _, p := range w.parts {
 		for _, v := range w.r.pm.Vertices(p) {
 			if !partition.IsPBoundary(w.r.g, w.r.pm, v) {
@@ -134,11 +142,21 @@ func (w *worker[V, M]) initVertexLockManager() {
 	}
 }
 
+// sendChandyCtrl is the lock managers' control channel: it counts the
+// message at the exact point it is handed to the transport, keeping the
+// ctrl_messages counter reconcilable with cluster.Stats.ControlMessages.
+func (w *worker[V, M]) sendChandyCtrl(toWorker int, c chandy.Ctrl) {
+	w.r.reg.Add(metrics.CtrlMessages, 1)
+	w.r.reg.Add(metrics.CtrlBytes, cluster.CtrlBytes)
+	w.ep.SendCtrl(cluster.WorkerID(toWorker), c)
+}
+
 // onData applies an arriving batch of remote vertex messages. Under BSP the
 // batch targets the next superstep's store; under Async the live store, so
 // recipients can read it within the same superstep (the AP model).
 func (w *worker[V, M]) onData(from cluster.WorkerID, payload any) {
 	batch := payload.([]msgstore.Entry[M])
+	w.r.reg.Add(metrics.RemoteEntriesDelivered, int64(len(batch)))
 	st := w.writeStore()
 	for _, e := range batch {
 		st.Put(e.Dst, e.Src, e.Msg, e.Ver)
@@ -202,6 +220,8 @@ func (w *worker[V, M]) loop() {
 }
 
 func (w *worker[V, M]) runSuperstep(s int) {
+	reg := w.r.reg
+	computeStart := time.Now()
 	queue := make(chan partition.ID, len(w.parts))
 	for _, p := range w.parts {
 		queue <- p
@@ -217,9 +237,12 @@ func (w *worker[V, M]) runSuperstep(s int) {
 			for p := range queue {
 				th.runPartition(p)
 			}
+			th.fold()
 		}()
 	}
 	wg.Wait()
+	flushStart := time.Now()
+	reg.AddPhase(metrics.PhaseCompute, flushStart.Sub(computeStart))
 
 	// End-of-superstep flush (§6.1): push out all remaining buffered
 	// remote messages. Token techniques additionally await delivery
@@ -228,16 +251,41 @@ func (w *worker[V, M]) runSuperstep(s int) {
 	// need the data on the wire before the barrier.
 	w.buf.FlushAll()
 	if w.r.cfg.Sync == TokenSingle || w.r.cfg.Sync == TokenDual {
-		w.ep.FlushWait(w.otherWks)
+		n := int64(w.ep.FlushWait(w.otherWks))
+		reg.Add(metrics.FlushMarkers, n)
+		reg.Add(metrics.CtrlMessages, n)
+		reg.Add(metrics.CtrlBytes, n*cluster.FlushMarkerBytes)
 	}
+	w.finish = time.Now()
+	reg.AddPhase(metrics.PhaseRemoteFlush, w.finish.Sub(flushStart))
 }
 
-// thread is per-compute-thread scratch state.
+// thread is per-compute-thread scratch state. The step-local metric
+// fields batch per-message/per-execution counts so the hot path touches
+// no shared atomics; fold flushes them into the registry once per thread
+// per superstep.
 type thread[V, M any] struct {
 	w         *worker[V, M]
 	superstep int
 	reader    msgstore.Reader[M]
 	ctx       vctx[V, M]
+
+	execs     int64
+	localMsgs int64
+	localNs   int64
+}
+
+// fold drains the thread's step-local metric accumulators into the
+// registry. Call after the thread's last partition of a superstep.
+func (t *thread[V, M]) fold() {
+	if t.execs == 0 && t.localMsgs == 0 {
+		return
+	}
+	reg := t.w.r.reg
+	reg.Add(metrics.Executions, t.execs)
+	reg.Add(metrics.LocalMessages, t.localMsgs)
+	reg.AddPhase(metrics.PhaseLocalDelivery, time.Duration(t.localNs))
+	t.execs, t.localMsgs, t.localNs = 0, 0, 0
 }
 
 // runPartition executes the partition's active vertices under the
@@ -350,6 +398,7 @@ func (t *thread[V, M]) executeVertices(verts []graph.VertexID, allowed func(grap
 func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 	r := t.w.r
 	r.executions.Add(1)
+	t.execs++
 
 	var txn history.Txn
 	if r.rec != nil {
@@ -370,7 +419,7 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 		}
 	}
 
-	t.ctx = vctx[V, M]{w: t.w, superstep: t.superstep, id: v}
+	t.ctx = vctx[V, M]{w: t.w, th: t, superstep: t.superstep, id: v}
 	r.prog.Compute(&t.ctx, t.reader.Msgs)
 	if r.halted[v] != t.ctx.votedHalt {
 		if t.ctx.votedHalt {
@@ -392,6 +441,7 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 // vctx implements model.Context for one vertex execution.
 type vctx[V, M any] struct {
 	w         *worker[V, M]
+	th        *thread[V, M]
 	superstep int
 	id        graph.VertexID
 	votedHalt bool
@@ -424,7 +474,10 @@ func (c *vctx[V, M]) Send(dst graph.VertexID, m M) {
 		// Local message: eager delivery, skipping the buffer cache (§6.1).
 		// Under BSP this targets the next store, keeping it invisible
 		// until the next superstep.
+		t0 := time.Now()
 		c.w.writeStore().Put(dst, c.id, m, ver)
+		c.th.localNs += int64(time.Since(t0))
+		c.th.localMsgs++
 		return
 	}
 	c.w.buf.Add(r.pm.WorkerOf(dst), msgstore.Entry[M]{Dst: dst, Src: c.id, Msg: m, Ver: ver})

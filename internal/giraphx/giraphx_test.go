@@ -7,6 +7,7 @@ import (
 	"serialgraph/internal/engine"
 	"serialgraph/internal/generate"
 	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/partition"
 )
 
@@ -159,5 +160,46 @@ func TestGiraphxSlowerThanSystemLevel(t *testing.T) {
 	}
 	if gx.Supersteps <= sys.Supersteps {
 		t.Errorf("Giraphx %d supersteps <= system-level %d", gx.Supersteps, sys.Supersteps)
+	}
+}
+
+// TestGiraphxMetricsReconcile pins how the in-algorithm techniques show
+// up in the metrics registry: their coordination travels as ordinary
+// data messages, so the data-side ledger reconciles with the transport
+// exactly while every engine-level sync counter (locks, forks, flush
+// markers, tokens) stays zero — the §7.3 contrast with the system-level
+// techniques, now machine-checkable.
+func TestGiraphxMetricsReconcile(t *testing.T) {
+	g := undirectedPowerLaw(200, 6)
+	workers := 4
+	pm := partition.NewHash(g, workers, workers, 1)
+	_, res, _, err := engine.Run(g, TokenColoring(g, pm), engine.Config{
+		Workers: workers, PartitionsPerWorker: 1, Mode: engine.BSP,
+		Partitioner:   func(*graph.Graph, int, int) *partition.Map { return pm },
+		MaxSupersteps: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if got, want := m.Get(metrics.RemoteBatches), res.Net.DataMessages; got != want {
+		t.Errorf("remote_batches = %d, transport DataMessages = %d", got, want)
+	}
+	if got, want := m.Get(metrics.Executions), res.Executions; got != want {
+		t.Errorf("executions counter = %d, Result.Executions = %d", got, want)
+	}
+	if got, want := m.Get(metrics.Supersteps), int64(res.Supersteps); got != want {
+		t.Errorf("supersteps counter = %d, Result.Supersteps = %d", got, want)
+	}
+	if m.Get(metrics.LocalMessages)+m.Get(metrics.RemoteEntries) == 0 {
+		t.Error("in-algorithm token passing sends its coordination as data; none counted")
+	}
+	for _, id := range []metrics.CounterID{
+		metrics.LockAcquires, metrics.ForkGrants, metrics.TokenSends,
+		metrics.FlushMarkers, metrics.CtrlMessages,
+	} {
+		if v := m.Get(id); v != 0 {
+			t.Errorf("in-algorithm run used engine-level sync: %s = %d", id.Name(), v)
+		}
 	}
 }

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/bits"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	if got := r.Get(Executions); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	r.Add(Executions, 3)
+	r.Add(Executions, 4)
+	if got := r.Get(Executions); got != 7 {
+		t.Fatalf("Executions = %d, want 7", got)
+	}
+	if got := r.Get(RemoteBatches); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+}
+
+func TestPhaseAccrual(t *testing.T) {
+	r := New()
+	r.AddPhase(PhaseCompute, 5*time.Millisecond)
+	r.AddPhase(PhaseCompute, 7*time.Millisecond)
+	r.AddPhase(PhaseBarrierWait, time.Microsecond)
+	s := r.Snapshot()
+	if got := s.Phase(PhaseCompute); got != 12*time.Millisecond {
+		t.Fatalf("compute = %v, want 12ms", got)
+	}
+	if got := s.Phase(PhaseBarrierWait); got != time.Microsecond {
+		t.Fatalf("barrier = %v, want 1µs", got)
+	}
+	if got := s.PhaseTotal(); got != 12*time.Millisecond+time.Microsecond {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	vals := []int64{0, 1, 2, 3, 1024, 1 << 50, -5}
+	for _, v := range vals {
+		r.Observe(HistLockWait, v)
+	}
+	h := r.Snapshot().Hist(HistLockWait)
+	if h.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count, len(vals))
+	}
+	// -5 clamps to 0, so sum excludes it.
+	wantSum := int64(0 + 1 + 2 + 3 + 1024 + 1<<50)
+	if h.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum, wantSum)
+	}
+	if h.Max != 1<<50 {
+		t.Fatalf("max = %d, want %d", h.Max, int64(1)<<50)
+	}
+	// Bucket index is bits.Len64: 0→0, 1→1, {2,3}→2, 1024→11; 2^50 has
+	// Len64 = 51 >= HistBuckets so it clamps into the overflow bucket.
+	wantBuckets := map[int]int64{0: 2, 1: 1, 2: 2, 11: 1, HistBuckets - 1: 1}
+	if !reflect.DeepEqual(h.Buckets, wantBuckets) {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, wantBuckets)
+	}
+	var n int64
+	for _, c := range h.Buckets {
+		n += c
+	}
+	if n != h.Count {
+		t.Fatalf("bucket sum %d != count %d", n, h.Count)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := int64(1)<<62 + 12345
+	h.Observe(huge)
+	s := h.snapshot()
+	if i := bits.Len64(uint64(huge)); i < HistBuckets {
+		// Sanity: 2^62 still fits a regular bucket with HistBuckets = 40?
+		// No — 63 >= 40, so it must land in the last bucket.
+		t.Logf("bits.Len64 = %d", i)
+	}
+	if got := s.Buckets[HistBuckets-1]; got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1 (buckets %v)", got, s.Buckets)
+	}
+}
+
+func TestSnapshotIsImmutableCopy(t *testing.T) {
+	r := New()
+	r.Add(Executions, 10)
+	r.Observe(HistBatchEntries, 7)
+	s1 := r.Snapshot()
+	r.Add(Executions, 90)
+	r.Observe(HistBatchEntries, 9)
+	if s1.Get(Executions) != 10 {
+		t.Fatalf("snapshot mutated: %d", s1.Get(Executions))
+	}
+	if s1.Hist(HistBatchEntries).Count != 1 {
+		t.Fatalf("hist snapshot mutated: %+v", s1.Hist(HistBatchEntries))
+	}
+	s2 := r.Snapshot()
+	if s2.Get(Executions) != 100 || s2.Hist(HistBatchEntries).Count != 2 {
+		t.Fatalf("registry lost updates: %+v", s2)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add(LocalMessages, 1)
+				r.AddPhase(PhaseCompute, time.Nanosecond)
+				r.Observe(HistLockWait, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Get(LocalMessages); got != workers*per {
+		t.Fatalf("LocalMessages = %d, want %d", got, workers*per)
+	}
+	if got := s.Phase(PhaseCompute); got != workers*per*time.Nanosecond {
+		t.Fatalf("compute = %v", got)
+	}
+	if got := s.Hist(HistLockWait).Count; got != workers*per {
+		t.Fatalf("hist count = %d", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Add(Executions, 42)
+	r.Add(CtrlBytes, 64*7)
+	r.AddPhase(PhaseRemoteFlush, 3*time.Millisecond)
+	r.Observe(HistSuperstepWall, 1e6)
+	r.Observe(HistSuperstepWall, 2e6)
+	s := r.Snapshot()
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestJSONSchemaKeys(t *testing.T) {
+	data, err := json.Marshal(New().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j struct {
+		Counters map[string]int64 `json:"counters"`
+		PhaseNs  map[string]int64 `json:"phase_ns"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range CounterIDs() {
+		if _, ok := j.Counters[c.Name()]; !ok {
+			t.Errorf("counter %q missing from JSON", c.Name())
+		}
+	}
+	for _, p := range Phases() {
+		if _, ok := j.PhaseNs[p.Name()]; !ok {
+			t.Errorf("phase %q missing from JSON", p.Name())
+		}
+	}
+	// Convention: every phase key is wall-clock-valued and ends in _ns so
+	// golden-file tooling can mask them mechanically.
+	for _, p := range Phases() {
+		if n := p.Name(); len(n) < 3 || n[len(n)-3:] != "_ns" {
+			t.Errorf("phase key %q does not end in _ns", n)
+		}
+	}
+}
+
+func TestJSONRejectsUnknownKeys(t *testing.T) {
+	var s Snapshot
+	err := json.Unmarshal([]byte(`{"counters":{"bogus_counter":1},"phase_ns":{},"histograms":{}}`), &s)
+	if err == nil {
+		t.Fatal("unknown counter key accepted")
+	}
+}
+
+func TestNameTablesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range CounterIDs() {
+		n := c.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("counter name %q empty or duplicate", n)
+		}
+		seen[n] = true
+	}
+	for _, h := range HistIDs() {
+		if h.Name() == "" {
+			t.Fatalf("hist %d has empty name", h)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(Executions, 1)
+	}
+}
+
+func BenchmarkHistObserve(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(HistLockWait, int64(i))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
 )
 
 // Entry is one vertex message in a remote batch.
@@ -25,6 +26,7 @@ type Buffer[M any] struct {
 	entryHdr int // per-entry header bytes
 	combine  func(a, b M) M
 	send     func(dest int, batch []Entry[M], bytes int)
+	reg      *metrics.Registry
 }
 
 type destBuf[M any] struct {
@@ -56,9 +58,34 @@ func NewBuffer[M any](nWorkers, cap, msgBytes, batchHeader, entryHeader int, sen
 // like SSSP and WCC. Call before any Add.
 func (b *Buffer[M]) SetCombiner(fn func(a, b M) M) { b.combine = fn }
 
+// SetMetrics attaches a metrics registry. Counting lives inside the buffer
+// — not at its call sites — because every remote-send path (capacity
+// flush, end-of-superstep FlushAll, the Chandy–Misra pre-handoff FlushTo)
+// funnels through emit, so no path can silently skip the counters. Call
+// before any Add.
+func (b *Buffer[M]) SetMetrics(reg *metrics.Registry) { b.reg = reg }
+
+// emit counts and sends one drained batch.
+func (b *Buffer[M]) emit(dest int, batch []Entry[M]) {
+	bytes := b.batchBytes(len(batch))
+	if b.reg != nil {
+		b.reg.Add(metrics.RemoteBatches, 1)
+		b.reg.Add(metrics.RemoteBatchBytes, int64(bytes))
+		b.reg.Add(metrics.RemoteEntriesFlushed, int64(len(batch)))
+		b.reg.Observe(metrics.HistBatchEntries, int64(len(batch)))
+	}
+	b.send(dest, batch, bytes)
+}
+
 // Add buffers a message bound for a vertex on worker dest, flushing that
 // destination if the buffer is full.
 func (b *Buffer[M]) Add(dest int, e Entry[M]) {
+	if b.reg != nil {
+		// Counts messages as buffered, before sender-side combining folds
+		// them, so combining's effectiveness is remote_entries vs.
+		// remote_entries_flushed.
+		b.reg.Add(metrics.RemoteEntries, 1)
+	}
 	d := b.perDest[dest]
 	d.mu.Lock()
 	if b.combine != nil {
@@ -78,7 +105,7 @@ func (b *Buffer[M]) Add(dest int, e Entry[M]) {
 		d.entries = nil
 		d.slot = nil
 		d.mu.Unlock()
-		b.send(dest, batch, b.batchBytes(len(batch)))
+		b.emit(dest, batch)
 		return
 	}
 	d.mu.Unlock()
@@ -96,7 +123,7 @@ func (b *Buffer[M]) FlushTo(dest int) int {
 	if len(batch) == 0 {
 		return 0
 	}
-	b.send(dest, batch, b.batchBytes(len(batch)))
+	b.emit(dest, batch)
 	return len(batch)
 }
 

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 
@@ -37,6 +38,7 @@ import (
 	"serialgraph/internal/generate"
 	"serialgraph/internal/graph"
 	"serialgraph/internal/history"
+	"serialgraph/internal/metrics"
 	"serialgraph/internal/model"
 	"serialgraph/internal/partition"
 )
@@ -250,6 +252,9 @@ func buildConfig(sc Scenario, ckptDir string) engine.Config {
 		DisableSenderCombine:       sc.DisableSenderCombine,
 		DisableHaltedPartitionSkip: sc.DisableHaltedSkip,
 		TrackHistory:               sc.serializabilityPromised() && !sc.lossy(),
+		// An external registry, so checkMetrics can re-snapshot it after the
+		// run and verify Result.Metrics is a true immutable copy.
+		Metrics: metrics.New(),
 	}
 	if sc.BreakProtocol {
 		cfg.Sync = engine.SyncNone
@@ -354,6 +359,103 @@ func checkCommon(sc Scenario, cfg engine.Config, g *graph.Graph, res engine.Resu
 		if err := checkCheckpoints(cfg.CheckpointDir, res); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	errs = append(errs, checkMetrics(cfg, res)...)
+	return errs
+}
+
+// checkMetrics reconciles the run's metrics snapshot against the
+// transport's ground-truth counters and the Result fields, and verifies
+// the snapshot is a true immutable copy of the (caller-owned) registry.
+func checkMetrics(cfg engine.Config, res engine.Result) []error {
+	var errs []error
+	m := res.Metrics
+
+	// Non-negativity: counters and phase timers only ever accrue.
+	for _, id := range metrics.CounterIDs() {
+		if v := m.Get(id); v < 0 {
+			errs = append(errs, fmt.Errorf("metrics: counter %s = %d < 0", id.Name(), v))
+		}
+	}
+	for _, p := range metrics.Phases() {
+		if v := m.Phase(p); v < 0 {
+			errs = append(errs, fmt.Errorf("metrics: phase %s = %v < 0", p.Name(), v))
+		}
+	}
+
+	// Executions are counted at the same site as Result.Executions, so
+	// they agree exactly even across rollbacks and discarded supersteps.
+	if got, want := m.Get(metrics.Executions), res.Executions; got != want {
+		errs = append(errs, fmt.Errorf("metrics: executions counter = %d, Result.Executions = %d", got, want))
+	}
+	if got, want := m.Get(metrics.Rollbacks), int64(res.Rollbacks); got != want {
+		errs = append(errs, fmt.Errorf("metrics: rollbacks counter = %d, Result.Rollbacks = %d", got, want))
+	}
+
+	// The supersteps counter includes discarded (rolled-back) supersteps,
+	// and under BAP accumulates per-worker logical supersteps, so it is
+	// exact only on clean barriered runs and a lower bound otherwise.
+	steps := m.Get(metrics.Supersteps)
+	if res.Rollbacks == 0 && cfg.Mode != engine.BAP {
+		if steps != int64(res.Supersteps) {
+			errs = append(errs, fmt.Errorf("metrics: supersteps counter = %d, Result.Supersteps = %d", steps, res.Supersteps))
+		}
+	} else if steps < int64(res.Supersteps) {
+		errs = append(errs, fmt.Errorf("metrics: supersteps counter = %d < Result.Supersteps = %d", steps, res.Supersteps))
+	}
+
+	// Chaos and crashes touch data traffic only, so the control ledger
+	// must match the transport exactly on every run.
+	if got, want := m.Get(metrics.CtrlMessages), res.Net.ControlMessages; got != want {
+		errs = append(errs, fmt.Errorf("metrics: ctrl_messages = %d, transport ControlMessages = %d", got, want))
+	}
+	if got, want := m.Get(metrics.CtrlBytes), res.Net.ControlBytes; got != want {
+		errs = append(errs, fmt.Errorf("metrics: ctrl_bytes = %d, transport ControlBytes = %d", got, want))
+	}
+
+	// Data-side conservation. Fault-free: every emitted batch was counted
+	// by the transport, and every flushed entry was delivered. Faulty:
+	// send-time drops leave DataMessages but land in DroppedMessages, and
+	// duplicates inflate DataMessages, so only the upper bound survives.
+	batches := m.Get(metrics.RemoteBatches)
+	if cfg.Fault == nil {
+		if batches != res.Net.DataMessages {
+			errs = append(errs, fmt.Errorf("metrics: remote_batches = %d, transport DataMessages = %d", batches, res.Net.DataMessages))
+		}
+		if got, want := m.Get(metrics.RemoteBatchBytes), res.Net.DataBytes; got != want {
+			errs = append(errs, fmt.Errorf("metrics: remote_batch_bytes = %d, transport DataBytes = %d", got, want))
+		}
+		if got, want := m.Get(metrics.RemoteEntriesDelivered), m.Get(metrics.RemoteEntriesFlushed); got != want {
+			errs = append(errs, fmt.Errorf("metrics: remote_entries_delivered = %d, remote_entries_flushed = %d", got, want))
+		}
+	} else if batches > res.Net.DataMessages+res.Net.DroppedMessages {
+		errs = append(errs, fmt.Errorf("metrics: remote_batches = %d > DataMessages+DroppedMessages = %d",
+			batches, res.Net.DataMessages+res.Net.DroppedMessages))
+	}
+	if flushed, buffered := m.Get(metrics.RemoteEntriesFlushed), m.Get(metrics.RemoteEntries); flushed > buffered {
+		errs = append(errs, fmt.Errorf("metrics: remote_entries_flushed = %d > remote_entries = %d", flushed, buffered))
+	}
+	if got, want := m.Hist(metrics.HistBatchEntries).Count, batches; got != want {
+		errs = append(errs, fmt.Errorf("metrics: batch_entries hist count = %d, remote_batches = %d", got, want))
+	}
+
+	// Sync-technique ledgers mirror the Result's own coordination counts.
+	if got, want := m.Get(metrics.ForkGrants), res.ForkSends; got != want {
+		errs = append(errs, fmt.Errorf("metrics: fork_grants = %d, Result.ForkSends = %d", got, want))
+	}
+	if got, want := m.Get(metrics.TokenSends), res.TokenSends; got != want {
+		errs = append(errs, fmt.Errorf("metrics: token_sends = %d, Result.TokenSends = %d", got, want))
+	}
+	if got, want := m.Hist(metrics.HistLockWait).Count, m.Get(metrics.LockAcquires); got != want {
+		errs = append(errs, fmt.Errorf("metrics: lock_wait hist count = %d, lock_acquires = %d", got, want))
+	}
+
+	// The run is over and the registry is ours alone, so re-snapshotting
+	// it must reproduce Result.Metrics bit for bit — both that nothing
+	// mutates the registry after Run returns, and that the snapshot really
+	// copied (rather than aliased) the live counters.
+	if cfg.Metrics != nil && !reflect.DeepEqual(cfg.Metrics.Snapshot(), res.Metrics) {
+		errs = append(errs, errors.New("metrics: registry changed after Run returned, or Snapshot aliases live state"))
 	}
 	return errs
 }

@@ -200,6 +200,10 @@ type Options struct {
 	Fault *FaultPlan
 	// MaxRollbacks bounds in-run recovery attempts (default 16).
 	MaxRollbacks int
+	// DetailedStats records a per-superstep breakdown (wall time, message
+	// counts, phase timers) in Result.SuperstepStats. Costs one metrics
+	// snapshot per superstep; Result.Metrics is populated regardless.
+	DetailedStats bool
 }
 
 func (o Options) latency() cluster.LatencyModel {
@@ -248,6 +252,7 @@ func (o Options) engineConfig() (engine.Config, error) {
 		CheckpointDir:       o.CheckpointDir,
 		RestoreFrom:         o.RestoreFrom,
 		MaxRollbacks:        o.MaxRollbacks,
+		DetailedStats:       o.DetailedStats,
 	}
 	if o.Fault != nil {
 		cfg.Fault = fault.NewInjector(*o.Fault)
