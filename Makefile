@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race race chaos torture fuzz bench-json bench-smoke ci clean
+.PHONY: build vet test test-short test-race race chaos torture torture-pinned fuzz bench-json bench-smoke bench-micro bench-diff ci clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ torture:
 	$(GO) test ./internal/torture/ -run 'TestTorture$$' -v -count=1 \
 		-torture.n=2000 -timeout=30m
 
+# Pinned serializability sweep: 200 cases from a fixed root seed, so every
+# CI run executes the identical case list. This is the regression gate for
+# the staged message paths (thread-local staging, batched remote apply);
+# the nightly `torture` target still covers a larger randomized sweep.
+torture-pinned:
+	$(GO) test ./internal/torture/ -run 'TestTorture$$' -count=1 \
+		-torture.n=200 -torture.root=0xdecaf -timeout=15m
+
 # Short fuzz pass over the graph loader/symmetrize targets.
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzEdgeListSymmetrize -fuzztime=60s
@@ -54,6 +62,18 @@ bench-json:
 bench-smoke:
 	SERIALGRAPH_SCALE=$(BENCH_SCALE) SERIALGRAPH_BENCH_JSON=$(BENCH_JSON) \
 		$(GO) test -run '^$$' -bench BenchmarkFig1Spectrum -benchtime 1x .
+
+# Hot-path microbenchmarks: the message store's put/read paths (per-message
+# vs. batched, all three semantics, 1-8 goroutines) and the engine's
+# local-delivery benchmark, which exercises thread-local staging end to end.
+bench-micro:
+	$(GO) test ./internal/msgstore/ -run '^$$' -bench . -benchtime 2000x
+	$(GO) test ./internal/engine/ -run '^$$' -bench BenchmarkLocalDelivery -benchtime 5x
+
+# Per-phase deltas between two perf-trajectory files:
+#   make bench-diff OLD=BENCH_0003.json NEW=BENCH_0004.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 ci: build vet test-race
 

@@ -1,0 +1,40 @@
+// Command benchdiff compares two benchmark trajectory files
+// (BENCH_NNNN.json, written by benchtab -json / `make bench-json`) row by
+// row, printing wall-clock and per-phase deltas. Rows are matched on
+// (experiment, algorithm, dataset, workers, technique); rows present on
+// only one side are reported rather than dropped.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -old BENCH_0003.json -new BENCH_0004.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"serialgraph/internal/bench"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (BENCH_NNNN.json)")
+	newPath := flag.String("new", "", "candidate report (BENCH_NNNN.json)")
+	flag.Parse()
+	args := flag.Args()
+	if *oldPath == "" && len(args) > 0 {
+		*oldPath, args = args[0], args[1:]
+	}
+	if *newPath == "" && len(args) > 0 {
+		*newPath, args = args[0], args[1:]
+	}
+	if *oldPath == "" || *newPath == "" || len(args) > 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if err := bench.DiffFiles(os.Stdout, *oldPath, *newPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

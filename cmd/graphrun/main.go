@@ -121,7 +121,7 @@ func main() {
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
 		Technique: technique, NetworkLatency: *latency, Seed: 1,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
-		DetailedStats:   *traceOut != "",
+		DetailedStats: *traceOut != "",
 	}
 
 	// Assemble the fault plan, if any fault flag is set.

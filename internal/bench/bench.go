@@ -167,12 +167,22 @@ func (gc *graphCache) undirected(name string) *graph.Graph {
 	return g
 }
 
-// runPregel executes a Pregel algorithm under one technique and records a
-// row.
+// runPregel executes a Pregel algorithm under one technique on the Async
+// engine and records a row.
 func (c Config) runPregel(exp, alg, ds string, g *graph.Graph, workers int, sync engine.Sync, mk func() any) Row {
+	return c.runPregelMode(exp, alg, ds, g, workers, engine.Async, sync, 0, mk)
+}
+
+// runPregelMode is runPregel with an explicit computation mode and an
+// optional superstep budget (0 = run to convergence). Rows for SyncNone
+// runs carry a mode-qualified technique label ("bsp-none", "async-none")
+// because without a synchronization technique the mode is the
+// distinguishing coordinate.
+func (c Config) runPregelMode(exp, alg, ds string, g *graph.Graph, workers int, mode engine.Mode, sync engine.Sync, maxSteps int, mk func() any) Row {
 	cfg := engine.Config{
-		Workers: workers, Mode: engine.Async, Sync: sync,
+		Workers: workers, Mode: mode, Sync: sync,
 		Latency: c.latencyModel(), Seed: 1, DetailedStats: c.Trace,
+		MaxSupersteps: maxSteps,
 	}
 	var res engine.Result
 	var err error
@@ -187,10 +197,14 @@ func (c Config) runPregel(exp, alg, ds string, g *graph.Graph, workers int, sync
 	if err != nil {
 		panic(err)
 	}
+	technique := sync.String()
+	if sync == engine.SyncNone {
+		technique = mode.String() + "-none"
+	}
 	m := res.Metrics
 	return Row{
 		Experiment: exp, Algorithm: alg, Dataset: ds, Workers: workers,
-		Technique: sync.String(), Time: res.ComputeTime, Supersteps: res.Supersteps,
+		Technique: technique, Time: res.ComputeTime, Supersteps: res.Supersteps,
 		Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 		CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends, MaxConc: res.MaxConcurrency,
 		Converged: res.Converged,

@@ -70,8 +70,10 @@ func TestPrintFormatsRows(t *testing.T) {
 
 func TestSpectrumAndExclusionAndMIS(t *testing.T) {
 	cfg := tiny()
-	if rows := Fig1Spectrum(cfg); len(rows) != 4 {
-		t.Errorf("spectrum rows = %d, want 4", len(rows))
+	// 2 PageRank anchor rows (bsp-none, async-none) + the 4 coloring
+	// technique rows.
+	if rows := Fig1Spectrum(cfg); len(rows) != 6 {
+		t.Errorf("spectrum rows = %d, want 6", len(rows))
 	}
 	if rows := Exclusion(cfg); len(rows) != 3 {
 		t.Errorf("exclusion rows = %d, want 3", len(rows))

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// This file implements the perf-trajectory diff behind `make bench-diff`:
+// it matches rows of two BENCH_NNNN.json reports by configuration and
+// prints wall-clock and per-phase deltas, so a hot-path change's effect on
+// each (algorithm, technique) cell is visible at a glance. Parsing is
+// deliberately decoupled from the Row struct: trajectory files from older
+// commits must stay diffable even as Row grows fields.
+
+// diffReport is the subset of the report schema the differ needs.
+type diffReport struct {
+	Schema string    `json:"schema"`
+	Scale  float64   `json:"scale"`
+	Label  string    `json:"label"`
+	Rows   []diffRow `json:"rows"`
+}
+
+type diffRow struct {
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	Dataset    string `json:"dataset"`
+	Workers    int    `json:"workers"`
+	Technique  string `json:"technique"`
+	TimeNs     int64  `json:"time_ns"`
+	Supersteps int    `json:"supersteps"`
+	Metrics    *struct {
+		PhaseNs map[string]int64 `json:"phase_ns"`
+	} `json:"metrics"`
+}
+
+func (r diffRow) key() string {
+	return fmt.Sprintf("%s/%s/%s/w%d/%s", r.Experiment, r.Algorithm, r.Dataset, r.Workers, r.Technique)
+}
+
+func (r diffRow) phase(name string) (int64, bool) {
+	if r.Metrics == nil {
+		return 0, false
+	}
+	v, ok := r.Metrics.PhaseNs[name]
+	return v, ok
+}
+
+// LoadDiffReport reads a BENCH_NNNN.json file for diffing.
+func LoadDiffReport(path string) (diffReport, error) {
+	var rep diffReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("bench: %w", err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diffPhases is the print order; compute+local_delivery is derived because
+// it is the figure the perf acceptance criteria track.
+var diffPhases = []string{"compute_ns", "local_delivery_ns", "remote_flush_ns", "barrier_wait_ns", "checkpoint_ns"}
+
+func fmtDelta(oldNs, newNs int64) string {
+	o, n := time.Duration(oldNs), time.Duration(newNs)
+	if oldNs == 0 {
+		return fmt.Sprintf("%12v -> %12v", o.Round(10*time.Microsecond), n.Round(10*time.Microsecond))
+	}
+	pct := 100 * float64(newNs-oldNs) / float64(oldNs)
+	return fmt.Sprintf("%12v -> %12v  %+6.1f%%", o.Round(10*time.Microsecond), n.Round(10*time.Microsecond), pct)
+}
+
+// WriteDiff prints per-row wall and phase deltas between two reports. Rows
+// present on only one side are listed, not silently dropped. Returns an
+// error only on I/O failure.
+func WriteDiff(w io.Writer, oldRep, newRep diffReport) error {
+	oldBy := make(map[string]diffRow, len(oldRep.Rows))
+	for _, r := range oldRep.Rows {
+		oldBy[r.key()] = r
+	}
+	newBy := make(map[string]diffRow, len(newRep.Rows))
+	var keys []string
+	for _, r := range newRep.Rows {
+		newBy[r.key()] = r
+		keys = append(keys, r.key())
+	}
+	sort.Strings(keys)
+
+	if oldRep.Scale != newRep.Scale {
+		fmt.Fprintf(w, "WARNING: scale differs (old %g, new %g); absolute times are not comparable\n\n", oldRep.Scale, newRep.Scale)
+	}
+	for _, k := range keys {
+		nr := newBy[k]
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%s\n  only in new report\n", k)
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", k)
+		fmt.Fprintf(w, "  %-24s %s\n", "wall", fmtDelta(or.TimeNs, nr.TimeNs))
+		if or.Supersteps != nr.Supersteps {
+			fmt.Fprintf(w, "  %-24s %d -> %d (phase totals cover different work!)\n", "supersteps", or.Supersteps, nr.Supersteps)
+		}
+		var oCL, nCL int64
+		var haveCL bool
+		for _, ph := range diffPhases {
+			ov, ook := or.phase(ph)
+			nv, nok := nr.phase(ph)
+			if !ook && !nok {
+				continue
+			}
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-24s %s\n", ph, fmtDelta(ov, nv))
+			if ph == "compute_ns" || ph == "local_delivery_ns" {
+				oCL += ov
+				nCL += nv
+				haveCL = ook || nok
+			}
+		}
+		if haveCL {
+			fmt.Fprintf(w, "  %-24s %s\n", "compute+local_delivery", fmtDelta(oCL, nCL))
+		}
+	}
+	for _, r := range oldRep.Rows {
+		if _, ok := newBy[r.key()]; !ok {
+			fmt.Fprintf(w, "%s\n  only in old report\n", r.key())
+		}
+	}
+	return nil
+}
+
+// DiffFiles loads two report files and writes their diff to w.
+func DiffFiles(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := LoadDiffReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := LoadDiffReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n", oldPath, oldRep.Label, newPath, newRep.Label)
+	return WriteDiff(w, oldRep, newRep)
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixture(wallA, wallB, computeA, computeB int64) (diffReport, diffReport) {
+	mkRow := func(tech string, wall, compute int64) diffRow {
+		r := diffRow{
+			Experiment: "fig1", Algorithm: "pagerank", Dataset: "OR",
+			Workers: 16, Technique: tech, TimeNs: wall, Supersteps: 50,
+		}
+		r.Metrics = &struct {
+			PhaseNs map[string]int64 `json:"phase_ns"`
+		}{PhaseNs: map[string]int64{
+			"compute_ns": compute, "local_delivery_ns": 1000, "barrier_wait_ns": 500,
+		}}
+		return r
+	}
+	oldRep := diffReport{Scale: 0.1, Label: "old", Rows: []diffRow{
+		mkRow("bsp-none", wallA, computeA),
+		{Experiment: "fig1", Algorithm: "coloring", Dataset: "OR", Workers: 16, Technique: "token-single", TimeNs: 5},
+	}}
+	newRep := diffReport{Scale: 0.1, Label: "new", Rows: []diffRow{
+		mkRow("bsp-none", wallB, computeB),
+		{Experiment: "fig1", Algorithm: "pagerank", Dataset: "OR", Workers: 16, Technique: "async-none", TimeNs: 7},
+	}}
+	return oldRep, newRep
+}
+
+func TestWriteDiffMatchesRowsAndComputesDeltas(t *testing.T) {
+	oldRep, newRep := diffFixture(100_000_000, 80_000_000, 10_000_000, 5_000_000)
+	var sb strings.Builder
+	if err := WriteDiff(&sb, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fig1/pagerank/OR/w16/bsp-none",
+		"-20.0%",                 // wall 100ms -> 80ms
+		"-50.0%",                 // compute 10ms -> 5ms
+		"compute+local_delivery", // derived line present
+		"fig1/coloring/OR/w16/token-single\n  only in old report",
+		"fig1/pagerank/OR/w16/async-none\n  only in new report",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDiffWarnsOnScaleMismatch(t *testing.T) {
+	oldRep, newRep := diffFixture(1, 1, 1, 1)
+	newRep.Scale = 1.0
+	var sb strings.Builder
+	if err := WriteDiff(&sb, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "scale differs") {
+		t.Errorf("no scale warning in:\n%s", sb.String())
+	}
+}
+
+func TestDiffFilesAgainstCommittedTrajectory(t *testing.T) {
+	// The committed trajectory files must stay parseable by the differ.
+	rep, err := LoadDiffReport("../../BENCH_0003.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("BENCH_0003.json parsed to zero rows")
+	}
+	for _, r := range rep.Rows {
+		if r.Technique == "" || r.Workers == 0 {
+			t.Errorf("row %+v missing key fields", r)
+		}
+	}
+}

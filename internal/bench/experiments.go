@@ -34,12 +34,27 @@ func Table1(w io.Writer, cfg Config) {
 // Fig1Spectrum measures the spectrum of Figure 1 empirically: for each
 // technique on the OR analog, the peak number of concurrently executing
 // vertices (parallelism) and the control message count (communication).
+// The spectrum's maximal-parallelism anchor — no serializability at all —
+// is measured with PageRank under plain BSP (Pregel) and plain AP (Giraph
+// async); these two rows are also the hot-path perf reference
+// configurations tracked across BENCH_NNNN.json trajectory points.
 func Fig1Spectrum(cfg Config) []Row {
 	cfg = cfg.withDefaults()
 	gc := newGraphCache(cfg)
 	g := gc.undirected("OR")
 	workers := cfg.Workers[0]
 	var rows []Row
+	gd := gc.directed("OR")
+	eps := prThreshold("OR")
+	// Fixed 50-superstep budget: BSP PageRank oscillates rather than
+	// converging (the Figure 2 phenomenon applies to ranks too), so the
+	// anchor rows run a deterministic-length sweep — which also makes them
+	// stable workloads for cross-commit phase-time comparison.
+	for _, mode := range []engine.Mode{engine.BSP, engine.Async} {
+		cfg.logf("fig1 %v none ...", mode)
+		rows = append(rows, cfg.runPregelMode("fig1", "pagerank", "OR", gd, workers,
+			mode, engine.SyncNone, 50, func() any { return algorithms.PageRank(eps) }))
+	}
 	for _, sync := range []engine.Sync{engine.TokenSingle, engine.TokenDual, engine.PartitionLock} {
 		cfg.logf("fig1 %v ...", sync)
 		rows = append(rows, cfg.runPregel("fig1", "coloring", "OR", g, workers, sync,

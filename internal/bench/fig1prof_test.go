@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"testing"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/engine"
+)
+
+// BenchmarkFig1BSPNone is the perf-acceptance workload in isolation: the
+// Fig. 1 BSP PageRank configuration (OR at scale 0.1, 16 workers, 50-step
+// budget) that BENCH_NNNN.json trajectory points track. Run it with
+// -cpuprofile when hunting hot-path regressions — it is the exact cell the
+// compute+local-delivery criterion is measured on, without the rest of the
+// spectrum diluting the profile.
+func BenchmarkFig1BSPNone(b *testing.B) {
+	cfg := Config{Scale: 0.1, Workers: []int{16}, Trace: true}
+	cfg = cfg.withDefaults()
+	gc := newGraphCache(cfg)
+	gd := gc.directed("OR")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.runPregelMode("fig1", "pagerank", "OR", gd, 16,
+			engine.BSP, engine.SyncNone, 50, func() any { return algorithms.PageRank(prThreshold("OR")) })
+	}
+}

@@ -31,14 +31,13 @@ func (r *runner[V, M]) runBAP(res *Result) {
 		wg.Add(1)
 		go func(w *worker[V, M]) {
 			defer wg.Done()
-			th := &thread[V, M]{w: w}
 			step := 0
 			for !done.Load() {
 				if !w.anyActiveWorker() {
 					time.Sleep(50 * time.Microsecond)
 					continue
 				}
-				w.runLogicalSuperstep(th, step)
+				w.runLogicalSuperstep(step)
 				step++
 				for {
 					m := maxSteps.Load()
@@ -59,7 +58,15 @@ func (r *runner[V, M]) runBAP(res *Result) {
 		idle := r.tr.InFlight() == 0
 		if idle {
 			for _, w := range r.workers {
-				if w.anyActiveWorker() || w.pendingBuffered() {
+				// stepping guards the staged-message window: mid-step, a
+				// local message may live only in a thread's staging buffer,
+				// invisible to NewCount until the partition-end fold, and
+				// the executions counter only moves at fold time. A worker
+				// only starts a step after observing activity, and that
+				// activity is consumed strictly inside the step, so the
+				// detector can never see "no activity, not stepping" while
+				// work is pending.
+				if w.stepping.Load() || w.anyActiveWorker() || w.pendingBuffered() {
 					idle = false
 					break
 				}
@@ -112,8 +119,9 @@ func (w *worker[V, M]) pendingBuffered() bool {
 // supersteps counter accumulates per-worker logical supersteps (so it
 // exceeds Result.Supersteps, which is the max across workers), and
 // barrier-wait stays zero by construction — BAP has no barriers.
-func (w *worker[V, M]) runLogicalSuperstep(th *thread[V, M], step int) {
-	th.superstep = step
+func (w *worker[V, M]) runLogicalSuperstep(step int) {
+	w.stepping.Store(true)
+	defer w.stepping.Store(false)
 	reg := w.r.reg
 	computeStart := time.Now()
 	queue := make(chan int, len(w.parts))
@@ -123,10 +131,11 @@ func (w *worker[V, M]) runLogicalSuperstep(th *thread[V, M], step int) {
 	close(queue)
 	var wg sync.WaitGroup
 	for t := 0; t < w.r.cfg.ThreadsPerWorker; t++ {
+		local := w.threads[t]
+		local.superstep = step
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := &thread[V, M]{w: w, superstep: step}
 			for i := range queue {
 				local.runPartition(w.parts[i])
 			}

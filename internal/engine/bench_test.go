@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"testing"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/generate"
+)
+
+// BenchmarkLocalDelivery exercises the compute→local-delivery hot path
+// end to end: a fixed-budget BSP PageRank sweep (the BENCH Fig. 1 anchor
+// workload in miniature) where every message goes through Send, staging,
+// and the batched partition-end fold. Remote traffic is present too, so
+// the batched onData apply is covered; the simulated network runs at zero
+// propagation delay to keep the measurement compute-bound.
+func BenchmarkLocalDelivery(b *testing.B) {
+	g := generate.PowerLaw(generate.PowerLawConfig{N: 2000, AvgDegree: 8, Exponent: 2.2, Seed: 3})
+	cfg := Config{
+		Workers: 4, Mode: BSP, Sync: SyncNone,
+		MaxSupersteps: 10, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := Run(g, algorithms.PageRank(0.01), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,18 @@ type runner[V, M any] struct {
 	// classes is computed for token techniques only (§5.3).
 	classes []partition.Class
 
+	// pBoundary is computed for VertexLockGiraph only: per-vertex
+	// p-boundary flags (Definition 4), precomputed once instead of walking
+	// both adjacency lists per vertex per superstep.
+	pBoundary []bool
+
+	// outSlots is computed for Overwrite semantics only: outSlots[u][i] is
+	// the in-slot position (biased by one; see msgstore.Entry.Slot) of u in
+	// the in-neighbor list of u's i-th out-neighbor. SendToAllOut attaches
+	// it to every message so the store never repeats the per-delivery
+	// binary search InSlot would do. Rebuilt on topology mutation.
+	outSlots [][]uint32
+
 	// initialForks snapshots each lock manager's fresh fork distribution
 	// (captured before the first superstep) so a rollback with no
 	// checkpoint on disk can reset the Chandy–Misra state along with the
@@ -46,7 +59,16 @@ type runner[V, M any] struct {
 
 	// versions tracks per-vertex write versions when history is recorded.
 	versions []atomic.Uint32
-	rec      *history.Recorder
+
+	// batchPool recycles emitted remote-batch slices: a receiver drops its
+	// spent batch here after PutBatch, and every worker's buffer cache
+	// restarts its next batch from the pool. Only safe when recycleBatches
+	// is set — with fault injection active the transport may duplicate a
+	// delivery (at-least-once), and a recycled slice would alias the copy
+	// still on the wire.
+	batchPool      sync.Pool
+	recycleBatches bool
+	rec            *history.Recorder
 
 	executions  atomic.Int64
 	concurrency atomic.Int64
@@ -89,8 +111,15 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	if cfg.Sync == TokenSingle || cfg.Sync == TokenDual {
 		r.classes = partition.Classify(g, pm)
 	}
+	if cfg.Sync == VertexLockGiraph {
+		r.pBoundary = partition.PBoundaryFlags(g, pm)
+	}
+	if prog.Semantics == model.Overwrite {
+		r.buildOutSlots()
+	}
 	r.tr = cluster.New(cfg.Workers, cfg.Latency)
 	defer r.tr.Close()
+	r.recycleBatches = cfg.Fault == nil
 	if cfg.Fault != nil {
 		cfg.Fault.Attach(r.tr)
 	}
@@ -299,6 +328,29 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	return r.values, res, r.rec, nil
 }
 
+// buildOutSlots precomputes, for every vertex u and every out-neighbor
+// dst, the position of u in dst's in-neighbor list (biased by one; see
+// msgstore.Entry.Slot). Messages sent along out-edges — the SendToAllOut
+// hot path of PageRank-style algorithms — carry the hint so the store's
+// Overwrite delivery never repeats the binary search.
+func (r *runner[V, M]) buildOutSlots() {
+	n := r.g.NumVertices()
+	r.outSlots = make([][]uint32, n)
+	for u := 0; u < n; u++ {
+		outs := r.g.OutNeighbors(graph.VertexID(u))
+		if len(outs) == 0 {
+			continue
+		}
+		row := make([]uint32, len(outs))
+		for i, dst := range outs {
+			if pos, ok := r.g.InSlot(dst, graph.VertexID(u)); ok {
+				row[i] = uint32(pos) + 1
+			}
+		}
+		r.outSlots[u] = row
+	}
+}
+
 // noteBarrier converts the spread of worker finish times at superstep s's
 // barrier into metrics: each worker's barrier-wait is the gap between its
 // own finish and the cluster-wide last finish (zero, by construction, for
@@ -382,6 +434,13 @@ func (r *runner[V, M]) applyMutations() error {
 		weighted = weighted || e.Weight != 1
 	}
 	r.g = graph.NewFromEdges(r.g.NumVertices(), edges, weighted)
+	if r.prog.Semantics == model.Overwrite {
+		// The in-adjacency lists just changed, so every precomputed slot
+		// hint is stale. Rebuilding here is safe: the cluster is quiescent
+		// at the barrier (buffers empty, transport idle, no staged
+		// messages), so no in-flight entry still carries an old hint.
+		r.buildOutSlots()
+	}
 
 	// Rebuild the message stores against the new in-adjacency, dropping
 	// Overwrite slots whose edge no longer exists.

@@ -1,0 +1,157 @@
+package engine
+
+// Tests pinning the visibility semantics of thread-local message staging
+// (worker.go): under BSP every local message is staged and becomes visible
+// only in the next superstep; under Async a cross-partition same-worker
+// message is folded into the store at the sending partition's boundary, so
+// a partition executed later in the same pass still reads it in the same
+// superstep (the AP model's eager local visibility).
+
+import (
+	"testing"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
+	"serialgraph/internal/model"
+	"serialgraph/internal/partition"
+)
+
+// stagingProg sends one message 0->1 in superstep 0 and records in vertex
+// 1's value the superstep at which the message arrived.
+func stagingProg() model.Program[int, int] {
+	return model.Program[int, int]{
+		Semantics: model.Queue,
+		Init:      func(graph.VertexID, *graph.Graph) int { return -1 },
+		Compute: func(ctx model.Context[int, int], msgs []int) {
+			if ctx.ID() == 0 {
+				if ctx.Superstep() == 0 {
+					ctx.Send(1, 7)
+				}
+			} else if len(msgs) > 0 && ctx.Value() == -1 {
+				ctx.SetValue(ctx.Superstep())
+			}
+			ctx.VoteToHalt()
+		},
+		MsgBytes: 8,
+	}
+}
+
+// stagingConfig places vertex 0 in partition 0 and vertex 1 in partition 1,
+// both on one single-threaded worker, so partition 1 always executes after
+// partition 0 within a pass and the 0->1 message crosses a partition
+// boundary without crossing the (simulated) network.
+func stagingConfig(mode Mode) Config {
+	return Config{
+		Workers: 1, PartitionsPerWorker: 2, ThreadsPerWorker: 1,
+		Mode: mode,
+		Partitioner: func(g *graph.Graph, p, w int) *partition.Map {
+			return partition.NewExplicit(g, []partition.ID{0, 1}, []int32{0, 0}, w)
+		},
+	}
+}
+
+func runStaging(t *testing.T, mode Mode) ([]int, Result) {
+	t.Helper()
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	vals, res, _, err := Run(b.Build(), stagingProg(), stagingConfig(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d supersteps", res.Supersteps)
+	}
+	return vals, res
+}
+
+func TestAsyncLocalMessageVisibleSameSuperstep(t *testing.T) {
+	vals, res := runStaging(t, Async)
+	if vals[1] != 0 {
+		t.Errorf("async: message staged by partition 0 arrived in superstep %d, want 0 (same pass)", vals[1])
+	}
+	if got := res.Metrics.Get(metrics.LocalMessages); got != 1 {
+		t.Errorf("local_messages = %d, want exactly 1", got)
+	}
+	if got := res.Metrics.Get(metrics.RemoteEntries); got != 0 {
+		t.Errorf("remote_entries = %d, want 0 (single worker)", got)
+	}
+}
+
+func TestBSPLocalMessageDeferredToNextSuperstep(t *testing.T) {
+	vals, res := runStaging(t, BSP)
+	if vals[1] != 1 {
+		t.Errorf("BSP: message arrived in superstep %d, want 1 (next superstep)", vals[1])
+	}
+	if got := res.Metrics.Get(metrics.LocalMessages); got != 1 {
+		t.Errorf("local_messages = %d, want exactly 1", got)
+	}
+}
+
+// TestAsyncSamePartitionEagerVisibility pins the eager path: with both
+// vertices in ONE partition and vertex 0 executing first, the Async store
+// write skips staging entirely and vertex 1 reads the message mid-pass.
+func TestAsyncSamePartitionEagerVisibility(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	vals, res, _, err := Run(b.Build(), stagingProg(), Config{
+		Workers: 1, PartitionsPerWorker: 1, ThreadsPerWorker: 1, Mode: Async,
+		Partitioner: func(g *graph.Graph, p, w int) *partition.Map {
+			return partition.NewExplicit(g, []partition.ID{0, 0}, []int32{0}, w)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if vals[1] != 0 {
+		t.Errorf("async same-partition: message arrived in superstep %d, want 0", vals[1])
+	}
+}
+
+// TestStagedCountsExact runs a multi-worker broadcast where every message
+// count is computable in closed form, and checks the staged paths did not
+// lose or double-count anything: each of the n vertices broadcasts along
+// its out-edges once in superstep 0, so local + remote must equal the
+// total edge count exactly.
+func TestStagedCountsExact(t *testing.T) {
+	const n = 64
+	b := graph.NewBuilder(n)
+	edges := 0
+	for u := 0; u < n; u++ {
+		for _, d := range []int{1, 3, 7} {
+			b.AddEdge(graph.VertexID(u), graph.VertexID((u+d)%n))
+			edges++
+		}
+	}
+	g := b.Build()
+	prog := model.Program[int, int]{
+		Semantics: model.Queue,
+		Compute: func(ctx model.Context[int, int], msgs []int) {
+			if ctx.Superstep() == 0 {
+				ctx.SendToAllOut(1)
+			}
+			ctx.VoteToHalt()
+		},
+		MsgBytes: 8,
+	}
+	for _, mode := range []Mode{BSP, Async} {
+		_, res, _, err := Run(g, prog, Config{Workers: 4, ThreadsPerWorker: 2, Mode: mode, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		local := m.Get(metrics.LocalMessages)
+		remote := m.Get(metrics.RemoteEntries)
+		if local+remote != int64(edges) {
+			t.Errorf("%v: local %d + remote %d = %d, want %d edges", mode, local, remote, local+remote, edges)
+		}
+		if remote != m.Get(metrics.RemoteEntriesFlushed) {
+			t.Errorf("%v: flushed %d != buffered %d", mode, m.Get(metrics.RemoteEntriesFlushed), remote)
+		}
+		if remote != m.Get(metrics.RemoteEntriesDelivered) {
+			t.Errorf("%v: delivered %d != buffered %d", mode, m.Get(metrics.RemoteEntriesDelivered), remote)
+		}
+	}
+}

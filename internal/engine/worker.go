@@ -33,6 +33,27 @@ type worker[V, M any] struct {
 	mgr      *chandy.Manager
 	otherWks []cluster.WorkerID
 
+	// partIdx maps each owned partition to its position in parts, replacing
+	// the linear scan TokenDual's allowed-filter used to do per partition
+	// per superstep.
+	partIdx map[partition.ID]int
+
+	// threads holds one thread scratch object per compute thread, reused
+	// across supersteps so reader scratch, staging buffers, and aggregator
+	// maps keep their capacity instead of being reallocated every step.
+	// Thread i is only ever used by compute goroutine i of the current
+	// superstep, and supersteps of one worker never overlap.
+	threads []*thread[V, M]
+
+	// stepping is set for the duration of a BAP logical superstep. The
+	// quiescence detector must treat a stepping worker as non-idle: with
+	// thread-local staging, a local message can exist only in a thread's
+	// staging buffer — invisible to NewCount until the fold at partition
+	// end — and with folded execution counters the executions counter
+	// moves only at fold time, so mid-step the worker can look finished
+	// while work is still in flight.
+	stepping atomic.Bool
+
 	aggMu    sync.Mutex
 	aggLocal map[string]float64
 	aggPrev  map[string]float64
@@ -66,6 +87,14 @@ func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
 		startCh:  make(chan int),
 		doneCh:   make(chan struct{}),
 	}
+	w.partIdx = make(map[partition.ID]int, len(w.parts))
+	for i, p := range w.parts {
+		w.partIdx[p] = i
+	}
+	w.threads = make([]*thread[V, M], r.cfg.ThreadsPerWorker)
+	for i := range w.threads {
+		w.threads[i] = &thread[V, M]{w: w}
+	}
 	var owned []graph.VertexID
 	for _, p := range w.parts {
 		owned = append(owned, r.pm.Vertices(p)...)
@@ -86,6 +115,14 @@ func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
 			w.ep.SendData(cluster.WorkerID(dest), batch, bytes)
 		})
 	w.buf.SetMetrics(r.reg)
+	if r.recycleBatches {
+		w.buf.SetAlloc(func() []msgstore.Entry[M] {
+			if v := r.batchPool.Get(); v != nil {
+				return v.([]msgstore.Entry[M])
+			}
+			return nil
+		})
+	}
 	if r.prog.Semantics == model.Combine && r.prog.Combine != nil && !r.cfg.DisableSenderCombine {
 		// Giraph applies the user combiner inside the buffer cache too, so
 		// a hub vertex receives one combined message per sending worker.
@@ -127,13 +164,13 @@ func (w *worker[V, M]) initVertexLockManager() {
 	w.mgr.SetMetrics(w.r.reg)
 	for _, p := range w.parts {
 		for _, v := range w.r.pm.Vertices(p) {
-			if !partition.IsPBoundary(w.r.g, w.r.pm, v) {
+			if !w.r.pBoundary[v] {
 				continue
 			}
 			var nbs []chandy.PhilID
 			myPart := w.r.pm.PartitionOf(v)
 			w.r.g.Neighbors(v, func(x graph.VertexID) {
-				if w.r.pm.PartitionOf(x) != myPart && partition.IsPBoundary(w.r.g, w.r.pm, x) {
+				if w.r.pm.PartitionOf(x) != myPart && w.r.pBoundary[x] {
 					nbs = append(nbs, chandy.PhilID(x))
 				}
 			})
@@ -153,13 +190,25 @@ func (w *worker[V, M]) sendChandyCtrl(toWorker int, c chandy.Ctrl) {
 
 // onData applies an arriving batch of remote vertex messages. Under BSP the
 // batch targets the next superstep's store; under Async the live store, so
-// recipients can read it within the same superstep (the AP model).
+// recipients can read it within the same superstep (the AP model). The
+// whole batch goes through PutBatch — grouped by lock stripe, duplicate
+// destinations pre-combined — instead of taking a stripe lock per entry.
+// RemoteEntriesDelivered counts the entries as they arrived, before the
+// combiner fast-path merges any, so it stays reconcilable with the
+// sender-side RemoteEntriesFlushed counter. The batch slice arrives with
+// ownership transferred from the sender (the buffer cache never reuses an
+// emitted slice), so PutBatch may reorder it in place; duplicate batches
+// for one (sender, receiver) pair are delivered sequentially on their
+// lane, so no two appliers ever share a slice. Once applied, the slice is
+// dead — recycle it into the run's batch pool so some sender's buffer
+// cache can restart a batch in it, unless fault injection is on (a
+// duplicated delivery still on the wire would alias it).
 func (w *worker[V, M]) onData(from cluster.WorkerID, payload any) {
 	batch := payload.([]msgstore.Entry[M])
 	w.r.reg.Add(metrics.RemoteEntriesDelivered, int64(len(batch)))
-	st := w.writeStore()
-	for _, e := range batch {
-		st.Put(e.Dst, e.Src, e.Msg, e.Ver)
+	w.writeStore().PutBatch(batch)
+	if w.r.recycleBatches && cap(batch) > 0 {
+		w.r.batchPool.Put(batch[:0])
 	}
 }
 
@@ -230,10 +279,11 @@ func (w *worker[V, M]) runSuperstep(s int) {
 
 	var wg sync.WaitGroup
 	for t := 0; t < w.r.cfg.ThreadsPerWorker; t++ {
+		th := w.threads[t]
+		th.superstep = s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			th := &thread[V, M]{w: w, superstep: s}
 			for p := range queue {
 				th.runPartition(p)
 			}
@@ -260,40 +310,139 @@ func (w *worker[V, M]) runSuperstep(s int) {
 	reg.AddPhase(metrics.PhaseRemoteFlush, w.finish.Sub(flushStart))
 }
 
+// localTimingSampleShift sets the local-delivery timing sample rate: one
+// in 2^6 = 64 direct local deliveries is timed and its duration scaled by
+// 64 into PhaseLocalDelivery. Message *counts* stay exact — only the
+// phase duration is sampled (DESIGN.md §9). Staged-fold durations are
+// measured in full: one clock pair per partition is already amortized.
+const localTimingSampleShift = 6
+
 // thread is per-compute-thread scratch state. The step-local metric
 // fields batch per-message/per-execution counts so the hot path touches
-// no shared atomics; fold flushes them into the registry once per thread
-// per superstep.
+// no shared atomics, the staging buffer batches local message delivery,
+// and agg batches aggregator contributions; fold flushes them into the
+// shared state once per thread per superstep.
 type thread[V, M any] struct {
 	w         *worker[V, M]
 	superstep int
 	reader    msgstore.Reader[M]
 	ctx       vctx[V, M]
 
+	// curPart is the partition currently executing; Send consults it to
+	// decide between eager delivery and staging under Async/BAP.
+	curPart partition.ID
+
+	// staged holds this thread's pending local messages for the current
+	// partition. Under BSP every local message stages (the write store is
+	// invisible until the swap anyway); under Async/BAP only messages to
+	// *other* partitions of this worker stage — same-partition messages
+	// are delivered eagerly so later vertices of the sequential pass see
+	// them (AP semantics). VertexLockGiraph never stages: its C1 argument
+	// needs delivery before each vertex's fork release. The buffer is
+	// flushed into the store at partition end — for PartitionLock, before
+	// the fork release, so neighbor partitions still read fresh replicas
+	// (C1). Invariant: staged is empty outside a partition's execution
+	// window, so barrier-time pending-message checks see everything.
+	staged    []msgstore.Entry[M]
+	stageSlot map[graph.VertexID]int // Combine: dst -> index in staged
+
+	// remoteStaged batches this thread's outgoing remote messages per
+	// destination worker for the current partition; they fold into the
+	// buffer cache via AddBatch at partition end — before the fork release
+	// under PartitionLock, so the C1 flush-before-handoff still covers
+	// every completed meal's updates. VertexLockGiraph bypasses it (its
+	// fork release is per vertex, so messages must hit the buffer cache
+	// per message). Same invariant as staged: empty outside a partition's
+	// execution window.
+	remoteStaged [][]msgstore.Entry[M]
+	remoteDests  []int
+
+	agg map[string]float64
+
 	execs     int64
 	localMsgs int64
 	localNs   int64
+	sendSeq   uint64 // local-delivery sampling counter
 }
 
-// fold drains the thread's step-local metric accumulators into the
-// registry. Call after the thread's last partition of a superstep.
+// stage buffers a local message, pre-applying the combiner thread-locally
+// when the algorithm has one (so a hub destination costs one staged entry,
+// not one per message).
+func (t *thread[V, M]) stage(dst, src graph.VertexID, m M, ver uint32, slot uint32) {
+	prog := &t.w.r.prog
+	if prog.Semantics == model.Combine && prog.Combine != nil {
+		if t.stageSlot == nil {
+			t.stageSlot = make(map[graph.VertexID]int)
+		}
+		if i, ok := t.stageSlot[dst]; ok {
+			t.staged[i].Msg = prog.Combine(t.staged[i].Msg, m)
+			return
+		}
+		t.stageSlot[dst] = len(t.staged)
+	}
+	t.staged = append(t.staged, msgstore.Entry[M]{Dst: dst, Src: src, Msg: m, Ver: ver, Slot: slot})
+}
+
+// flushStaged folds the staged local messages into the write store in one
+// batched apply and the staged remote messages into the buffer cache, one
+// AddBatch per touched destination. Called at partition end (before the
+// fork release under PartitionLock).
+func (t *thread[V, M]) flushStaged() {
+	if len(t.staged) > 0 {
+		t0 := time.Now()
+		t.w.writeStore().PutBatch(t.staged)
+		t.localNs += int64(time.Since(t0))
+		t.staged = t.staged[:0]
+		if t.stageSlot != nil {
+			clear(t.stageSlot)
+		}
+	}
+	if len(t.remoteDests) > 0 {
+		for _, wk := range t.remoteDests {
+			t.w.buf.AddBatch(wk, t.remoteStaged[wk])
+			t.remoteStaged[wk] = t.remoteStaged[wk][:0]
+		}
+		t.remoteDests = t.remoteDests[:0]
+	}
+}
+
+// fold drains the thread's step-local accumulators into the registry and
+// the worker. Call after the thread's last partition of a superstep.
 func (t *thread[V, M]) fold() {
+	t.flushStaged() // no-op by invariant; kept as a safety net
+	if len(t.agg) > 0 {
+		t.w.aggMu.Lock()
+		for k, v := range t.agg {
+			t.w.aggLocal[k] += v
+		}
+		t.w.aggMu.Unlock()
+		clear(t.agg)
+	}
 	if t.execs == 0 && t.localMsgs == 0 {
 		return
 	}
 	reg := t.w.r.reg
 	reg.Add(metrics.Executions, t.execs)
+	t.w.r.executions.Add(t.execs)
 	reg.Add(metrics.LocalMessages, t.localMsgs)
 	reg.AddPhase(metrics.PhaseLocalDelivery, time.Duration(t.localNs))
 	t.execs, t.localMsgs, t.localNs = 0, 0, 0
 }
 
 // runPartition executes the partition's active vertices under the
-// configured synchronization technique.
+// configured synchronization technique. Staged local messages fold into
+// the store before the partition's execution window closes: under
+// PartitionLock that is before the fork release (so a neighbor partition
+// acquiring the forks next reads fresh replicas — the C1 argument), and
+// under every other technique at the end of the pass. Forks order only
+// *remote* data (the FIFO-before-fork flush covers the buffer cache);
+// staged messages are purely local, so staging cannot reorder anything a
+// fork handoff promises.
 func (t *thread[V, M]) runPartition(p partition.ID) {
 	w := t.w
 	r := w.r
 	verts := r.pm.Vertices(p)
+	t.curPart = p
 	// Concurrency is tracked at partition granularity: a partition's
 	// execution (a "meal" under locking) is the unit whose overlap defines
 	// the parallelism axis of Figure 1.
@@ -309,6 +458,7 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 		}
 		w.mgr.Acquire(chandy.PhilID(p))
 		t.executeVertices(verts, nil)
+		t.flushStaged() // before Release: neighbors must read fresh replicas
 		w.mgr.Release(chandy.PhilID(p))
 	case TokenSingle:
 		holder, _ := r.tokenState(t.superstep)
@@ -320,9 +470,10 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 			return true // m-internal vertices always run (§4.2)
 		}
 		t.executeVertices(verts, allowed)
+		t.flushStaged()
 	case TokenDual:
 		holder, localIdx := r.tokenState(t.superstep)
-		myLocalIdx := indexOf(w.parts, p)
+		myLocalIdx := w.partIdx[p]
 		allowed := func(v graph.VertexID) bool {
 			switch r.classes[v] {
 			case partition.PInternal:
@@ -336,6 +487,11 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 			}
 		}
 		t.executeVertices(verts, allowed)
+		// Cross-partition local recipients of anything staged here are
+		// local/mixed boundary vertices of a *different* partition, which
+		// the local token keeps inactive this superstep — folding at pass
+		// end is indistinguishable from eager delivery.
+		t.flushStaged()
 	case VertexLockGiraph:
 		// The heavy-weight partition thread blocks on every p-boundary
 		// vertex's fork acquisition — the behavior §5.2 identifies as this
@@ -345,7 +501,7 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 			if r.halted[v] && !st.HasNew(v) {
 				continue
 			}
-			if partition.IsPBoundary(r.g, r.pm, v) {
+			if r.pBoundary[v] {
 				w.mgr.Acquire(chandy.PhilID(v))
 				t.executeVertex(v, st)
 				w.mgr.Release(chandy.PhilID(v))
@@ -355,16 +511,8 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 		}
 	default: // SyncNone
 		t.executeVertices(verts, nil)
+		t.flushStaged()
 	}
-}
-
-func indexOf(parts []partition.ID, p partition.ID) int {
-	for i, q := range parts {
-		if q == p {
-			return i
-		}
-	}
-	return -1
 }
 
 func (t *thread[V, M]) anyActive(verts []graph.VertexID) bool {
@@ -397,7 +545,6 @@ func (t *thread[V, M]) executeVertices(verts []graph.VertexID, allowed func(grap
 // in-neighbor replicas (messages), compute, write back.
 func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 	r := t.w.r
-	r.executions.Add(1)
 	t.execs++
 
 	var txn history.Txn
@@ -409,7 +556,8 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 
 	st.Read(v, &t.reader)
 
-	if r.rec != nil {
+	if r.rec != nil && len(t.reader.Srcs) > 0 {
+		txn.Reads = make([]history.Read, 0, len(t.reader.Srcs))
 		for i, src := range t.reader.Srcs {
 			txn.Reads = append(txn.Reads, history.Read{
 				Src:        src,
@@ -464,35 +612,81 @@ func (c *vctx[V, M]) SetValue(v V) {
 	}
 }
 
-func (c *vctx[V, M]) Send(dst graph.VertexID, m M) {
+func (c *vctx[V, M]) Send(dst graph.VertexID, m M) { c.send(dst, m, 0) }
+
+// send routes one message, optionally carrying a precomputed in-slot hint
+// (SendToAllOut supplies one; zero means unknown and is always safe).
+func (c *vctx[V, M]) send(dst graph.VertexID, m M, slot uint32) {
 	r := c.w.r
 	var ver uint32
 	if r.versions != nil {
 		ver = r.versions[c.id].Load()
 	}
-	if r.pm.WorkerOf(dst) == c.w.id {
-		// Local message: eager delivery, skipping the buffer cache (§6.1).
-		// Under BSP this targets the next store, keeping it invisible
-		// until the next superstep.
-		t0 := time.Now()
-		c.w.writeStore().Put(dst, c.id, m, ver)
-		c.th.localNs += int64(time.Since(t0))
-		c.th.localMsgs++
+	dp := r.pm.PartitionOf(dst)
+	if wk := r.pm.WorkerOfPartition(dp); wk != c.w.id {
+		e := msgstore.Entry[M]{Dst: dst, Src: c.id, Msg: m, Ver: ver, Slot: slot}
+		if r.cfg.Sync == VertexLockGiraph {
+			// Per-vertex C1: the message must be in the buffer cache before
+			// this vertex's fork release triggers the pre-handoff flush.
+			c.w.buf.Add(wk, e)
+			return
+		}
+		t := c.th
+		if t.remoteStaged == nil {
+			t.remoteStaged = make([][]msgstore.Entry[M], r.cfg.Workers)
+		}
+		if len(t.remoteStaged[wk]) == 0 {
+			t.remoteDests = append(t.remoteDests, wk)
+		}
+		t.remoteStaged[wk] = append(t.remoteStaged[wk], e)
 		return
 	}
-	c.w.buf.Add(r.pm.WorkerOf(dst), msgstore.Entry[M]{Dst: dst, Src: c.id, Msg: m, Ver: ver})
+	// Local message (§6.1): skip the buffer cache. Under BSP everything
+	// stages (the next-superstep store is invisible until the swap), and
+	// under Async/BAP messages to other partitions of this worker stage;
+	// same-partition messages deliver eagerly so the rest of the sequential
+	// pass sees them, and VertexLockGiraph delivers everything eagerly (its
+	// per-vertex C1 argument needs delivery before each fork release). The
+	// eager path samples its timing 1-in-2^localTimingSampleShift; counts
+	// stay exact.
+	t := c.th
+	t.localMsgs++
+	if r.cfg.Sync != VertexLockGiraph && (r.cfg.Mode == BSP || dp != t.curPart) {
+		t.stage(dst, c.id, m, ver, slot)
+		return
+	}
+	t.sendSeq++
+	if t.sendSeq&(1<<localTimingSampleShift-1) == 0 {
+		t0 := time.Now()
+		c.w.writeStore().PutSlot(dst, c.id, m, ver, slot)
+		t.localNs += int64(time.Since(t0)) << localTimingSampleShift
+	} else {
+		c.w.writeStore().PutSlot(dst, c.id, m, ver, slot)
+	}
 }
 
 func (c *vctx[V, M]) SendToAllOut(m M) {
-	for _, dst := range c.w.r.g.OutNeighbors(c.id) {
-		c.Send(dst, m)
+	outs := c.w.r.g.OutNeighbors(c.id)
+	if c.w.r.outSlots != nil {
+		row := c.w.r.outSlots[c.id]
+		for i, dst := range outs {
+			c.send(dst, m, row[i])
+		}
+		return
+	}
+	for _, dst := range outs {
+		c.send(dst, m, 0)
 	}
 }
 
+// Aggregate accumulates thread-locally; thread.fold merges the map into
+// the worker's aggLocal under aggMu once per thread per superstep instead
+// of taking the mutex per call.
 func (c *vctx[V, M]) Aggregate(name string, v float64) {
-	c.w.aggMu.Lock()
-	c.w.aggLocal[name] += v
-	c.w.aggMu.Unlock()
+	if c.th.agg == nil {
+		c.th.agg = make(map[string]float64)
+	}
+	c.th.agg[name] += v
 }
 
 func (c *vctx[V, M]) Aggregated(name string) float64 {

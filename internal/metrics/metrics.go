@@ -143,8 +143,11 @@ const (
 	// PhaseCompute: partition execution, from superstep start until every
 	// compute thread has joined. Includes lock waits and local delivery.
 	PhaseCompute Phase = iota
-	// PhaseLocalDelivery: time inside Compute spent writing eager local
-	// messages into the worker's own store.
+	// PhaseLocalDelivery: time inside Compute spent writing local
+	// messages into the worker's own store. Staged-batch folds are timed
+	// in full; the eager per-message path is sampled 1-in-64 and scaled
+	// by 64 (engine.localTimingSampleShift), so this phase is an
+	// estimate — unlike the message counters, which are exact.
 	PhaseLocalDelivery
 	// PhaseRemoteFlush: the end-of-superstep buffer flush, plus (token
 	// techniques) the flush-with-ack delivery confirmation wait.

@@ -7,11 +7,17 @@ import (
 	"serialgraph/internal/metrics"
 )
 
-// Entry is one vertex message in a remote batch.
+// Entry is one vertex message in a remote batch. Slot optionally carries
+// the position of Src in Dst's in-neighbor list, biased by one (0 means
+// unknown): senders that walk their out-edge list know it for free from
+// the engine's precomputed edge→slot table, and carrying it saves the
+// store a binary search per Overwrite-mode delivery. A zero Slot is always
+// safe — the store falls back to looking the position up.
 type Entry[M any] struct {
 	Dst, Src graph.VertexID
 	Msg      M
 	Ver      uint32
+	Slot     uint32
 }
 
 // Buffer is the message buffer cache of §6.1: outgoing remote messages are
@@ -27,6 +33,7 @@ type Buffer[M any] struct {
 	combine  func(a, b M) M
 	send     func(dest int, batch []Entry[M], bytes int)
 	reg      *metrics.Registry
+	alloc    func() []Entry[M]
 }
 
 type destBuf[M any] struct {
@@ -57,6 +64,23 @@ func NewBuffer[M any](nWorkers, cap, msgBytes, batchHeader, entryHeader int, sen
 // before they ever reach the network, shrinking batches for algorithms
 // like SSSP and WCC. Call before any Add.
 func (b *Buffer[M]) SetCombiner(fn func(a, b M) M) { b.combine = fn }
+
+// SetAlloc installs a batch allocator, letting the engine recycle spent
+// batch slices through a pool instead of allocating a fresh full-capacity
+// slice per emitted batch. fn may return nil (or a slice of any capacity);
+// the buffer falls back to make. Call before any Add.
+func (b *Buffer[M]) SetAlloc(fn func() []Entry[M]) { b.alloc = fn }
+
+// newBatch returns an empty slice to start the next batch in, preferring
+// the engine-provided recycler.
+func (b *Buffer[M]) newBatch() []Entry[M] {
+	if b.alloc != nil {
+		if s := b.alloc(); s != nil {
+			return s[:0]
+		}
+	}
+	return make([]Entry[M], 0, b.cap)
+}
 
 // SetMetrics attaches a metrics registry. Counting lives inside the buffer
 // — not at its call sites — because every remote-send path (capacity
@@ -102,7 +126,14 @@ func (b *Buffer[M]) Add(dest int, e Entry[M]) {
 	d.entries = append(d.entries, e)
 	if len(d.entries) >= b.cap {
 		batch := d.entries
-		d.entries = nil
+		// Ownership of the full batch transfers to the receiver. This
+		// destination just proved it fills whole batches, so start the next
+		// one at full capacity — one allocation (or a recycled slice) instead
+		// of doubling up. (FlushTo deliberately does NOT preallocate:
+		// end-of-superstep flushes are usually far below cap, and zeroing a
+		// full-cap slice per destination per superstep costs more than it
+		// saves.)
+		d.entries = b.newBatch()
 		d.slot = nil
 		d.mu.Unlock()
 		b.emit(dest, batch)
@@ -111,18 +142,84 @@ func (b *Buffer[M]) Add(dest int, e Entry[M]) {
 	d.mu.Unlock()
 }
 
+// AddBatch buffers a run of messages for one destination worker with a
+// single lock acquisition and a single counter update, emitting full
+// batches as the buffer fills. Semantically identical to calling Add per
+// entry; the caller keeps ownership of es (entries are copied in). The
+// engine's compute threads use it to fold a partition's worth of staged
+// remote messages in at once instead of taking the destination mutex per
+// message.
+func (b *Buffer[M]) AddBatch(dest int, es []Entry[M]) {
+	if len(es) == 0 {
+		return
+	}
+	if b.reg != nil {
+		// As in Add: counted before sender-side combining folds entries.
+		b.reg.Add(metrics.RemoteEntries, int64(len(es)))
+	}
+	d := b.perDest[dest]
+	var full [][]Entry[M]
+	d.mu.Lock()
+	// Reserve up front: after a flush the buffer restarts from nil, and
+	// letting append double element-by-element costs a growslice chain per
+	// destination per superstep. Restart from a recycled batch when one is
+	// available, then grow geometrically (so repeated AddBatch calls stay
+	// amortized-linear) to at least the whole run, clamped to cap —
+	// len(d.entries) never reaches cap between emits.
+	if d.entries == nil && b.alloc != nil {
+		if s := b.alloc(); s != nil {
+			d.entries = s[:0]
+		}
+	}
+	if need := len(d.entries) + len(es); cap(d.entries) < need && cap(d.entries) < b.cap {
+		newCap := 2 * cap(d.entries)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap > b.cap {
+			newCap = b.cap
+		}
+		ne := make([]Entry[M], len(d.entries), newCap)
+		copy(ne, d.entries)
+		d.entries = ne
+	}
+	for _, e := range es {
+		if b.combine != nil {
+			if d.slot == nil {
+				d.slot = make(map[graph.VertexID]int)
+			}
+			if i, ok := d.slot[e.Dst]; ok {
+				d.entries[i].Msg = b.combine(d.entries[i].Msg, e.Msg)
+				continue
+			}
+			d.slot[e.Dst] = len(d.entries)
+		}
+		d.entries = append(d.entries, e)
+		if len(d.entries) >= b.cap {
+			full = append(full, d.entries)
+			d.entries = b.newBatch()
+			d.slot = nil
+		}
+	}
+	d.mu.Unlock()
+	for _, batch := range full {
+		b.emit(dest, batch)
+	}
+}
+
 // FlushTo drains the buffer for one destination, returning the number of
 // entries sent.
 func (b *Buffer[M]) FlushTo(dest int) int {
 	d := b.perDest[dest]
 	d.mu.Lock()
 	batch := d.entries
+	if len(batch) == 0 {
+		d.mu.Unlock()
+		return 0
+	}
 	d.entries = nil
 	d.slot = nil
 	d.mu.Unlock()
-	if len(batch) == 0 {
-		return 0
-	}
 	b.emit(dest, batch)
 	return len(batch)
 }

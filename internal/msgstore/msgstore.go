@@ -10,10 +10,21 @@
 // vertex's messages is reading the replicas of its in-edge neighbors, and
 // slots carry version numbers so the history checker can verify freshness
 // (condition C1).
+//
+// Hot-path layout (DESIGN.md §9): lock striping is BLOCK-based — each
+// stripe covers a contiguous range of local indices — rather than modulo.
+// The engine's owned-vertex order concatenates partitions, so one
+// partition's vertices occupy a contiguous local-index range and map to
+// very few stripes. Compute threads writing eagerly to their own partition
+// therefore never contend, and the batched appliers (PutBatch) acquire
+// each stripe once per contiguous run instead of once per message. The
+// has-new flags are atomics read outside the stripe locks, so activity
+// scans (halted-vertex skips, quiescence checks) take no locks at all.
 package msgstore
 
 import (
 	"fmt"
+
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +44,10 @@ type Store[M any] struct {
 	owned []graph.VertexID
 
 	locks [stripes]sync.Mutex
+	// blockSize is the local-index width of one stripe: stripe(li) =
+	// li/blockSize, so contiguous indices share stripes (see the package
+	// comment for why).
+	blockSize int32
 
 	// Queue mode: one slice per owned vertex.
 	queues [][]M
@@ -42,13 +57,25 @@ type Store[M any] struct {
 	hasSlot []bool
 
 	// Overwrite mode: one slot per in-edge of each owned vertex, indexed by
-	// the in-neighbor's position in g.InNeighbors(v).
-	ow      [][]M
-	owHas   [][]bool
-	owVer   [][]uint32
-	owFresh [][]bool // slot updated since last read (activation info)
+	// the in-neighbor's position in g.InNeighbors(v). Presence and
+	// freshness are epoch-stamped rather than boolean: a slot is present
+	// when owHasE == epoch and fresh (updated since last read) when
+	// owFreshE == epoch, so Clear — called on every BSP store swap — bumps
+	// the epoch in O(1) instead of wiping O(in-edges) flags.
+	ow       [][]M
+	owHasE   [][]uint32
+	owVer    [][]uint32
+	owFreshE [][]uint32
+	epoch    uint32
 
-	hasNew   []bool // per owned vertex: unseen message since last read
+	// scratch pools batchScratch workspaces for PutBatch.
+	scratch sync.Pool
+
+	// hasNew is per owned vertex: unseen message since last read. The
+	// flags are written under the vertex's stripe lock (keeping flag and
+	// payload consistent for lock holders) but read lock-free by activity
+	// scans; newCount moves by exactly one per flag transition.
+	hasNew   []atomic.Bool
 	newCount atomic.Int64
 }
 
@@ -66,7 +93,11 @@ func New[M any](g *graph.Graph, owned []graph.VertexID, kind model.Semantics, co
 		s.local[v] = int32(i)
 	}
 	n := len(owned)
-	s.hasNew = make([]bool, n)
+	s.blockSize = int32((n + stripes - 1) / stripes)
+	if s.blockSize < 1 {
+		s.blockSize = 1
+	}
+	s.hasNew = make([]atomic.Bool, n)
 	switch kind {
 	case model.Queue:
 		s.queues = make([][]M, n)
@@ -74,16 +105,17 @@ func New[M any](g *graph.Graph, owned []graph.VertexID, kind model.Semantics, co
 		s.slot = make([]M, n)
 		s.hasSlot = make([]bool, n)
 	case model.Overwrite:
+		s.epoch = 1
 		s.ow = make([][]M, n)
-		s.owHas = make([][]bool, n)
+		s.owHasE = make([][]uint32, n)
 		s.owVer = make([][]uint32, n)
-		s.owFresh = make([][]bool, n)
+		s.owFreshE = make([][]uint32, n)
 		for i, v := range owned {
 			d := g.InDegree(v)
 			s.ow[i] = make([]M, d)
-			s.owHas[i] = make([]bool, d)
+			s.owHasE[i] = make([]uint32, d)
 			s.owVer[i] = make([]uint32, d)
-			s.owFresh[i] = make([]bool, d)
+			s.owFreshE[i] = make([]uint32, d)
 		}
 	default:
 		panic(fmt.Sprintf("msgstore: unknown semantics %v", kind))
@@ -102,12 +134,16 @@ func (s *Store[M]) idx(dst graph.VertexID) int32 {
 	return li
 }
 
-// Put records message m from src to dst. ver is src's value version at send
-// time (0 when history tracking is off). Safe for concurrent use.
-func (s *Store[M]) Put(dst, src graph.VertexID, m M, ver uint32) {
-	li := s.idx(dst)
-	lk := &s.locks[li%stripes]
-	lk.Lock()
+// stripeOf maps a local index to its stripe (block striping).
+func (s *Store[M]) stripeOf(li int32) int32 { return li / s.blockSize }
+
+// putLocked records message m into local slot li. The caller holds li's
+// stripe lock. slot, when non-zero, is the in-neighbor position of src in
+// dst's in-list biased by one, sparing the Overwrite path its binary
+// search. Returns false when the message is an Overwrite-mode message
+// from a non-in-neighbor (the caller unlocks, then panics, so the store is
+// not left locked).
+func (s *Store[M]) putLocked(li int32, dst, src graph.VertexID, m M, ver uint32, slot uint32) bool {
 	switch s.kind {
 	case model.Queue:
 		s.queues[li] = append(s.queues[li], m)
@@ -119,30 +155,174 @@ func (s *Store[M]) Put(dst, src graph.VertexID, m M, ver uint32) {
 			s.hasSlot[li] = true
 		}
 	case model.Overwrite:
-		pos, ok := s.g.InSlot(dst, src)
-		if !ok {
-			lk.Unlock()
-			panic(fmt.Sprintf("msgstore: overwrite message from non-in-neighbor %d to %d", src, dst))
+		pos := int(slot) - 1
+		if slot == 0 {
+			var ok bool
+			pos, ok = s.g.InSlot(dst, src)
+			if !ok {
+				return false
+			}
 		}
 		s.ow[li][pos] = m
-		s.owHas[li][pos] = true
+		s.owHasE[li][pos] = s.epoch
 		s.owVer[li][pos] = ver
-		s.owFresh[li][pos] = true
+		s.owFreshE[li][pos] = s.epoch
 	}
-	if !s.hasNew[li] {
-		s.hasNew[li] = true
+	if !s.hasNew[li].Load() && s.hasNew[li].CompareAndSwap(false, true) {
 		s.newCount.Add(1)
 	}
-	lk.Unlock()
+	return true
 }
 
-// HasNew reports whether dst has messages it has not yet read.
-func (s *Store[M]) HasNew(dst graph.VertexID) bool {
+// Put records message m from src to dst. ver is src's value version at send
+// time (0 when history tracking is off). Safe for concurrent use.
+func (s *Store[M]) Put(dst, src graph.VertexID, m M, ver uint32) {
+	s.PutSlot(dst, src, m, ver, 0)
+}
+
+// PutSlot is Put with a precomputed in-slot hint (Entry.Slot encoding:
+// position+1, 0 = unknown).
+func (s *Store[M]) PutSlot(dst, src graph.VertexID, m M, ver uint32, slot uint32) {
 	li := s.idx(dst)
-	lk := &s.locks[li%stripes]
+	lk := &s.locks[s.stripeOf(li)]
 	lk.Lock()
-	defer lk.Unlock()
-	return s.hasNew[li]
+	ok := s.putLocked(li, dst, src, m, ver, slot)
+	lk.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("msgstore: overwrite message from non-in-neighbor %d to %d", src, dst))
+	}
+}
+
+// batchScratch is the reusable workspace of one PutBatch call, pooled per
+// store so concurrent appliers never share one.
+type batchScratch[M any] struct {
+	entries []Entry[M]
+	lis     []int32
+	counts  [stripes + 1]int32
+}
+
+// smallBatch is the size under which PutBatch skips the bucketing pass:
+// grouping a handful of entries costs more than relocking.
+const smallBatch = 16
+
+// PutBatch applies a batch of messages, amortizing lock acquisition: the
+// batch is grouped by lock stripe with a stable two-pass counting sort
+// (no comparisons, no reflection), so each stripe is locked once per
+// batch instead of once per message. Under Combine semantics each
+// stripe's bucket is additionally ordered by destination and duplicate
+// destinations are pre-folded with the combiner before the store is
+// touched. Stable bucketing preserves per-destination arrival order, so
+// Queue and Overwrite semantics observe exactly the messages (and order)
+// that per-message Puts would have produced. Safe for concurrent use by
+// multiple appliers.
+func (s *Store[M]) PutBatch(batch []Entry[M]) {
+	if len(batch) == 0 {
+		return
+	}
+	if len(batch) <= smallBatch {
+		// Lazy relocking: hold the current stripe's lock across
+		// consecutive same-stripe entries.
+		cur := int32(-1)
+		for _, e := range batch {
+			li := s.idx(e.Dst)
+			if st := s.stripeOf(li); st != cur {
+				if cur >= 0 {
+					s.locks[cur].Unlock()
+				}
+				cur = st
+				s.locks[cur].Lock()
+			}
+			if !s.putLocked(li, e.Dst, e.Src, e.Msg, e.Ver, e.Slot) {
+				s.locks[cur].Unlock()
+				panic(fmt.Sprintf("msgstore: overwrite message from non-in-neighbor %d to %d", e.Src, e.Dst))
+			}
+		}
+		if cur >= 0 {
+			s.locks[cur].Unlock()
+		}
+		return
+	}
+
+	sc, _ := s.scratch.Get().(*batchScratch[M])
+	if sc == nil {
+		sc = &batchScratch[M]{}
+	}
+	if cap(sc.entries) < len(batch) {
+		sc.entries = make([]Entry[M], len(batch))
+		sc.lis = make([]int32, len(batch))
+	}
+	grouped := sc.entries[:len(batch)]
+	lis := sc.lis[:len(batch)]
+	counts := &sc.counts
+	*counts = [stripes + 1]int32{}
+	for i, e := range batch {
+		li := s.idx(e.Dst)
+		lis[i] = li
+		counts[s.stripeOf(li)+1]++
+	}
+	for i := 1; i <= stripes; i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := counts // counts is now the running placement offset per stripe
+	for i, e := range batch {
+		st := s.stripeOf(lis[i])
+		grouped[offsets[st]] = e
+		offsets[st]++
+	}
+	// offsets[st] is now the END of stripe st's bucket (and the start of
+	// stripe st+1's), since each advanced by its own count.
+	start := int32(0)
+	for st := 0; st < stripes; st++ {
+		end := offsets[st]
+		if end == start {
+			continue
+		}
+		bucket := grouped[start:end]
+		start = end
+		if s.kind == model.Combine {
+			bucket = s.preCombine(bucket)
+		}
+		lk := &s.locks[st]
+		lk.Lock()
+		for _, e := range bucket {
+			if !s.putLocked(s.idx(e.Dst), e.Dst, e.Src, e.Msg, e.Ver, e.Slot) {
+				lk.Unlock()
+				s.scratch.Put(sc)
+				panic(fmt.Sprintf("msgstore: overwrite message from non-in-neighbor %d to %d", e.Src, e.Dst))
+			}
+		}
+		lk.Unlock()
+	}
+	s.scratch.Put(sc)
+}
+
+// preCombine orders a stripe bucket by destination (stable insertion
+// sort — buckets are small) and folds duplicate destinations with the
+// combiner, so each surviving destination costs one slot update under the
+// lock. Returns the condensed bucket, condensed in place.
+func (s *Store[M]) preCombine(bucket []Entry[M]) []Entry[M] {
+	for i := 1; i < len(bucket); i++ {
+		for j := i; j > 0 && bucket[j].Dst < bucket[j-1].Dst; j-- {
+			bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
+		}
+	}
+	w := 0
+	for i := 1; i < len(bucket); i++ {
+		if bucket[i].Dst == bucket[w].Dst {
+			bucket[w].Msg = s.combine(bucket[w].Msg, bucket[i].Msg)
+		} else {
+			w++
+			bucket[w] = bucket[i]
+		}
+	}
+	return bucket[:w+1]
+}
+
+// HasNew reports whether dst has messages it has not yet read. Lock-free:
+// the answer is a point-in-time observation, exactly like the locked
+// variant was for callers that dropped the lock before acting on it.
+func (s *Store[M]) HasNew(dst graph.VertexID) bool {
+	return s.hasNew[s.idx(dst)].Load()
 }
 
 // NewCount returns the number of owned vertices with unread messages.
@@ -170,11 +350,10 @@ func (r *Reader[M]) reset() {
 func (s *Store[M]) Read(dst graph.VertexID, r *Reader[M]) bool {
 	r.reset()
 	li := s.idx(dst)
-	lk := &s.locks[li%stripes]
+	lk := &s.locks[s.stripeOf(li)]
 	lk.Lock()
 	defer lk.Unlock()
-	if s.hasNew[li] {
-		s.hasNew[li] = false
+	if s.hasNew[li].Load() && s.hasNew[li].CompareAndSwap(true, false) {
 		s.newCount.Add(-1)
 	}
 	switch s.kind {
@@ -193,29 +372,33 @@ func (s *Store[M]) Read(dst graph.VertexID, r *Reader[M]) bool {
 	case model.Overwrite:
 		in := s.g.InNeighbors(dst)
 		any := false
-		for pos, has := range s.owHas[li] {
-			if !has {
+		for pos, e := range s.owHasE[li] {
+			if e != s.epoch {
 				continue
 			}
 			any = true
 			r.Msgs = append(r.Msgs, s.ow[li][pos])
 			r.Srcs = append(r.Srcs, in[pos])
 			r.Vers = append(r.Vers, s.owVer[li][pos])
-			s.owFresh[li][pos] = false
+			s.owFreshE[li][pos] = 0 // epoch is always >= 1, so 0 = not fresh
 		}
 		return any
 	}
 	return true
 }
 
-// SwapEmpty atomically drains all state, used when resetting between runs.
+// Clear atomically drains all state; the BSP engine calls it on every
+// store swap. Overwrite mode clears by bumping the presence epoch — O(1)
+// for the slot table instead of wiping a flag per in-edge per superstep.
 func (s *Store[M]) Clear() {
 	for i := range s.locks {
 		s.locks[i].Lock()
 	}
+	if s.kind == model.Overwrite {
+		s.epoch++
+	}
 	for li := range s.hasNew {
-		if s.hasNew[li] {
-			s.hasNew[li] = false
+		if s.hasNew[li].Load() && s.hasNew[li].CompareAndSwap(true, false) {
 			s.newCount.Add(-1)
 		}
 		switch s.kind {
@@ -223,12 +406,6 @@ func (s *Store[M]) Clear() {
 			s.queues[li] = s.queues[li][:0]
 		case model.Combine:
 			s.hasSlot[li] = false
-		case model.Overwrite:
-			for p := range s.owHas[li] {
-				s.owHas[li][p] = false
-				s.owFresh[li][p] = false
-				s.owVer[li][p] = 0
-			}
 		}
 	}
 	for i := range s.locks {
@@ -246,11 +423,33 @@ type DumpEntry[M any] struct {
 }
 
 // Dump snapshots the store's full contents for a checkpoint (§6.4). Call
-// only while the cluster is quiescent (at a global barrier).
+// only while the cluster is quiescent (at a global barrier). The output
+// is preallocated from the live slot counts, so a large store dumps with
+// a single allocation.
 func (s *Store[M]) Dump() []DumpEntry[M] {
-	var out []DumpEntry[M]
+	n := 0
+	for li := range s.owned {
+		switch s.kind {
+		case model.Queue:
+			n += len(s.queues[li])
+		case model.Combine:
+			if s.hasSlot[li] {
+				n++
+			}
+		case model.Overwrite:
+			for _, e := range s.owHasE[li] {
+				if e == s.epoch {
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]DumpEntry[M], 0, n)
 	for li, v := range s.owned {
-		isNew := s.hasNew[li]
+		isNew := s.hasNew[li].Load()
 		switch s.kind {
 		case model.Queue:
 			for _, m := range s.queues[li] {
@@ -262,11 +461,11 @@ func (s *Store[M]) Dump() []DumpEntry[M] {
 			}
 		case model.Overwrite:
 			in := s.g.InNeighbors(v)
-			for pos, has := range s.owHas[li] {
-				if has {
+			for pos, e := range s.owHasE[li] {
+				if e == s.epoch {
 					out = append(out, DumpEntry[M]{
 						Dst: v, Src: in[pos], Msg: s.ow[li][pos],
-						Ver: s.owVer[li][pos], IsNew: isNew && s.owFresh[li][pos],
+						Ver: s.owVer[li][pos], IsNew: isNew && s.owFreshE[li][pos] == s.epoch,
 					})
 				}
 			}
@@ -292,12 +491,15 @@ func (s *Store[M]) Load(entries []DumpEntry[M]) {
 				panic("msgstore: restored entry from non-in-neighbor")
 			}
 			s.ow[li][pos] = e.Msg
-			s.owHas[li][pos] = true
+			s.owHasE[li][pos] = s.epoch
 			s.owVer[li][pos] = e.Ver
-			s.owFresh[li][pos] = e.IsNew
+			if e.IsNew {
+				s.owFreshE[li][pos] = s.epoch
+			} else {
+				s.owFreshE[li][pos] = 0
+			}
 		}
-		if e.IsNew && !s.hasNew[li] {
-			s.hasNew[li] = true
+		if e.IsNew && !s.hasNew[li].Load() && s.hasNew[li].CompareAndSwap(false, true) {
 			s.newCount.Add(1)
 		}
 	}

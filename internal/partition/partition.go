@@ -274,6 +274,27 @@ func IsPBoundary(g *graph.Graph, m *Map, u graph.VertexID) bool {
 	return found
 }
 
+// PBoundaryFlags computes IsPBoundary for every vertex in one pass over
+// the edge set. The per-vertex predicate walks both adjacency lists each
+// call; when a caller needs the answer for every vertex every superstep
+// (the vertex-locking engine does), the precomputed form turns an
+// O(edges) cost per superstep into a slice load per vertex.
+func PBoundaryFlags(g *graph.Graph, m *Map) []bool {
+	n := g.NumVertices()
+	flags := make([]bool, n)
+	for v := 0; v < n; v++ {
+		u := graph.VertexID(v)
+		pu := m.PartitionOf(u)
+		for _, nb := range g.OutNeighbors(u) {
+			if m.PartitionOf(nb) != pu {
+				flags[u] = true
+				flags[nb] = true
+			}
+		}
+	}
+	return flags
+}
+
 // Neighbors returns, for every partition, the sorted set of other
 // partitions that share at least one edge with it (ignoring direction).
 // These pairs are exactly the "virtual partition edges" of Figure 5 that
