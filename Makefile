@@ -25,10 +25,16 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
-# Just the fault-injection/recovery harness, verbosely.
+# Fault-injection and recovery gate: the chaos and confined-recovery /
+# watchdog suites under the race detector, then a 200-case torture sweep
+# restricted to crash-plan scenarios (every case schedules at least one
+# worker crash; recovery mode and checkpoint cadence still vary). Runs
+# nightly in CI alongside the long randomized sweep.
 chaos:
-	$(GO) test ./internal/engine/ -run Chaos -v
-	$(GO) test ./internal/fault/ -v
+	$(GO) test -race ./internal/engine/ -run 'Chaos|Confined|Watchdog|Torn' -v
+	$(GO) test -race ./internal/fault/ ./internal/msgstore/ ./internal/checkpoint/
+	$(GO) test ./internal/torture/ -run 'TestTorture$$' -count=1 \
+		-torture.n=200 -torture.faulty -torture.root=0xc4a05 -timeout=20m
 
 # Long randomized model-checking sweep (nightly). Replay one case with:
 #   go test ./internal/torture -run TestTorture -torture.seed=0x...

@@ -50,6 +50,8 @@ func main() {
 	out := flag.String("o", "", "write final vertex values to this file (text, one per line)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every k-th superstep (0 = off)")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory (required with -checkpoint-every)")
+	recoveryName := flag.String("recovery", "full", "crash recovery mode: full (whole-cluster rollback) | confined (crashed partitions only)")
+	watchdogTimeout := flag.Duration("watchdog-timeout", 0, "liveness watchdog: declare a superstep stalled and recover if its barrier is not reached within this deadline (0 = off)")
 	crashAt := flag.Int("crash-at", -1, "inject a worker crash at this superstep (-1 = off)")
 	crashWorker := flag.Int("crash-worker", 0, "worker to crash (with -crash-at or -crash-after-msgs)")
 	crashAfterMsgs := flag.Int64("crash-after-msgs", 0, "inject a crash after this many delivered data messages (0 = off)")
@@ -117,10 +119,21 @@ func main() {
 		mdl = serialgraph.BSP
 	}
 
+	var recovery serialgraph.RecoveryMode
+	switch *recoveryName {
+	case "full":
+		recovery = serialgraph.RecoverFull
+	case "confined":
+		recovery = serialgraph.RecoverConfined
+	default:
+		log.Fatalf("unknown recovery mode %q (want full or confined)", *recoveryName)
+	}
+
 	opt := serialgraph.Options{
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
 		Technique: technique, NetworkLatency: *latency, Seed: 1,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
+		Recovery: recovery, WatchdogTimeout: *watchdogTimeout,
 		DetailedStats: *traceOut != "",
 	}
 
@@ -249,10 +262,11 @@ func main() {
 	fmt.Printf("network: %d data batches / %d KB data, %d control msgs; forks=%d tokens=%d\n",
 		res.Net.DataMessages, res.Net.DataBytes/1024, res.Net.ControlMessages,
 		res.ForkSends, res.TokenSends)
-	if faulty {
-		fmt.Printf("recovery: rollbacks=%d recomputed-supersteps=%d wasted-msgs=%d dropped=%d\n",
-			res.Rollbacks, res.RecomputedSupersteps, res.WastedMessages,
-			res.Net.DroppedMessages)
+	if faulty || res.WatchdogStalls > 0 {
+		fmt.Printf("recovery: rollbacks=%d (confined=%d) recomputed-supersteps=%d recomputed-partition-supersteps=%d wasted-msgs=%d dropped=%d watchdog-stalls=%d\n",
+			res.Rollbacks, res.ConfinedRecoveries, res.RecomputedSupersteps,
+			res.RecomputedPartitionSupersteps, res.WastedMessages,
+			res.Net.DroppedMessages, res.WatchdogStalls)
 	}
 	if *check {
 		if len(violations) == 0 {

@@ -171,9 +171,18 @@ func SSSP(source graph.VertexID) model.Program[float64, float64] {
 			if changed {
 				ctx.SetValue(d)
 			}
-			// The source propagates on its first (message-less) execution;
-			// afterwards only improvements propagate.
-			if changed || (ctx.ID() == source && d == 0 && len(msgs) == 0) {
+			// The source broadcasts on every execution; other vertices
+			// propagate only improvements. A "first message-less execution"
+			// guard would be wrong twice over: token techniques can defer
+			// the source's first execution past superstep 0 (so a
+			// superstep-0 guard fails too), and confined-recovery replay
+			// may inject logged messages earlier than any fault-free
+			// timeline could deliver them, so a len(msgs)==0 guard would
+			// silently skip the bootstrap when replaying from the initial
+			// state (the engine's replay contract — see confinedEligible —
+			// forbids absence-based send guards). Re-broadcasts are
+			// idempotent under the min combiner.
+			if changed || (ctx.ID() == source && d == 0) {
 				nbs := ctx.OutNeighbors()
 				ws := ctx.OutWeights()
 				for i, nb := range nbs {

@@ -50,7 +50,13 @@ type Row struct {
 	MaxConc    int64         `json:"max_conc"`
 	Rollbacks  int           `json:"rollbacks"`
 	Recomputed int           `json:"recomputed"`
-	Converged  bool          `json:"converged"`
+	// RecomputedParts counts partition×superstep recompute units — the
+	// confined-vs-full comparison axis: a confined recovery replays only
+	// the crashed workers' partitions, a full rollback all of them.
+	RecomputedParts int `json:"recomputed_partition_supersteps"`
+	// Confined counts rollbacks that were handled by confined recovery.
+	Confined  int  `json:"confined_recoveries"`
+	Converged bool `json:"converged"`
 	// Metrics is the engine's registry snapshot: counters, aggregate
 	// phase timers, histograms. Nil for GAS rows — the GAS engine is not
 	// instrumented.

@@ -107,23 +107,40 @@ func TestAblations(t *testing.T) {
 
 func TestRecoveryOverhead(t *testing.T) {
 	rows := RecoveryOverhead(tiny())
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Converged {
 			t.Errorf("%s did not converge", r.Technique)
 		}
 	}
-	if rows[0].Rollbacks != 0 || rows[1].Rollbacks != 0 {
-		t.Errorf("fault-free rows report rollbacks: %d, %d", rows[0].Rollbacks, rows[1].Rollbacks)
+	for _, i := range []int{0, 1, 2} {
+		if rows[i].Rollbacks != 0 {
+			t.Errorf("fault-free row %s reports %d rollbacks", rows[i].Technique, rows[i].Rollbacks)
+		}
 	}
-	crashed := rows[2]
-	if crashed.Rollbacks < 1 {
-		t.Errorf("crashed row reports no rollback: %+v", crashed)
+	full, confined := rows[3], rows[4]
+	for _, crashed := range []Row{full, confined} {
+		if crashed.Rollbacks < 1 {
+			t.Errorf("crashed row reports no rollback: %+v", crashed)
+		}
+		if crashed.Recomputed < 1 {
+			t.Errorf("crashed row reports no recomputed supersteps: %+v", crashed)
+		}
 	}
-	if crashed.Recomputed < 1 {
-		t.Errorf("crashed row reports no recomputed supersteps: %+v", crashed)
+	if full.Confined != 0 {
+		t.Errorf("full-rollback row reports %d confined recoveries", full.Confined)
+	}
+	if confined.Confined < 1 {
+		t.Errorf("confined row recovered %d crashes confined: %+v", confined.Confined, confined)
+	}
+	// The headline claim: for the same single-worker crash, confined
+	// recovery redoes strictly fewer partition×superstep units than a
+	// whole-cluster rollback.
+	if confined.RecomputedParts >= full.RecomputedParts {
+		t.Errorf("confined recomputed %d partition-supersteps, full %d; want strictly fewer",
+			confined.RecomputedParts, full.RecomputedParts)
 	}
 }
 

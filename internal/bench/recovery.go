@@ -9,21 +9,26 @@ import (
 )
 
 // RecoveryOverhead measures the §6.4 fault-tolerance costs on the OR
-// analog: SSSP under partition-based locking run three ways — without
+// analog: SSSP under partition-based locking run five ways — without
 // checkpointing, with synchronous checkpoints every 2 supersteps (the
-// fault-free overhead), and with the same checkpoints plus a worker crash
-// injected mid-run and recovered in-run by whole-cluster rollback (the
-// recovery cost: rollbacks and recomputed supersteps appear in the rows).
+// fault-free overhead), with the same checkpoints plus a single-worker
+// crash recovered by whole-cluster rollback, the same crash recovered
+// confined (only the crashed worker's partitions are restored from the
+// checkpoint and replayed against the healthy workers' message logs), and
+// the confined setup without a crash (the message-logging overhead). The
+// comparison axis is recomputed_partition_supersteps: confined recovery
+// must redo strictly fewer partition×superstep units than a full rollback
+// for the same crash.
 func RecoveryOverhead(cfg Config) []Row {
 	cfg = cfg.withDefaults()
 	gc := newGraphCache(cfg)
 	g := gc.directed("OR")
 	workers := cfg.Workers[0]
 
-	run := func(label string, every int, plan *fault.Plan) Row {
+	run := func(label string, every int, plan *fault.Plan, recovery engine.RecoveryMode) Row {
 		ecfg := engine.Config{
 			Workers: workers, Mode: engine.Async, Sync: engine.PartitionLock,
-			Latency: cfg.latencyModel(), Seed: 1,
+			Latency: cfg.latencyModel(), Seed: 1, Recovery: recovery,
 		}
 		if every > 0 {
 			dir, err := os.MkdirTemp("", "serialgraph-recovery")
@@ -48,17 +53,23 @@ func RecoveryOverhead(cfg Config) []Row {
 			Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 			CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends,
 			Rollbacks: res.Rollbacks, Recomputed: res.RecomputedSupersteps,
-			Converged: res.Converged,
+			RecomputedParts: res.RecomputedPartitionSupersteps,
+			Confined:        res.ConfinedRecoveries,
+			Converged:       res.Converged,
 		}
 	}
 
-	crash := &fault.Plan{
-		Crashes: []fault.Crash{{Worker: workers - 1, AtSuperstep: 1}},
-		Seed:    7,
+	crash := func() *fault.Plan {
+		return &fault.Plan{
+			Crashes: []fault.Crash{{Worker: workers - 1, AtSuperstep: 1}},
+			Seed:    7,
+		}
 	}
 	return []Row{
-		run("no-checkpoint", 0, nil),
-		run("checkpoint", 2, nil),
-		run("checkpoint+crash", 2, crash),
+		run("no-checkpoint", 0, nil, engine.RecoverFull),
+		run("checkpoint", 2, nil, engine.RecoverFull),
+		run("checkpoint+log", 2, nil, engine.RecoverConfined),
+		run("checkpoint+crash-full", 2, crash(), engine.RecoverFull),
+		run("checkpoint+crash-confined", 2, crash(), engine.RecoverConfined),
 	}
 }

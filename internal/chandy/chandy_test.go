@@ -125,7 +125,7 @@ func TestRandomGraphSingleManager(t *testing.T) {
 	for id := 0; id < n; id++ {
 		m.AddPhil(PhilID(id), adj[id])
 	}
-	exclusionHarness(t, n, adj, m, m.Acquire, m.Release, 50)
+	exclusionHarness(t, n, adj, m, func(p PhilID) { m.Acquire(p) }, m.Release, 50)
 	st := m.Stats()
 	if st.Meals != int64(n*50) {
 		t.Errorf("meals = %d, want %d", st.Meals, n*50)
@@ -270,7 +270,7 @@ func TestFairnessUnderContention(t *testing.T) {
 	for id := 0; id < n; id++ {
 		m.AddPhil(PhilID(id), adj[id])
 	}
-	exclusionHarness(t, n, adj, m, m.Acquire, m.Release, 40)
+	exclusionHarness(t, n, adj, m, func(p PhilID) { m.Acquire(p) }, m.Release, 40)
 }
 
 func TestAcquireTwicePanics(t *testing.T) {

@@ -87,7 +87,7 @@ func TestLoadGarbage(t *testing.T) {
 	if err == nil {
 		t.Fatal("garbage file did not error")
 	}
-	if want := "checkpoint: decode"; !strings.Contains(err.Error(), want) {
+	if want := "bad header"; !strings.Contains(err.Error(), want) {
 		t.Errorf("error %q does not mention %q", err, want)
 	}
 }
@@ -137,5 +137,193 @@ func TestLatestIgnoresTempFiles(t *testing.T) {
 	}
 	if filepath.Base(p) != "checkpoint-000004.gob" {
 		t.Errorf("Latest = %s, want the completed checkpoint, not the .tmp", p)
+	}
+}
+
+// writeGen saves a generation; vals==nil with base>=0 makes it a delta
+// carrying ids/dvals against that base.
+func writeGen(t *testing.T, dir string, s, base int, n int, vals []float64, ids []int32, dvals []float64) {
+	t.Helper()
+	snap := &Snapshot[float64, float64]{
+		Superstep: s, Base: base, NumVertices: n,
+		Halted: make([]bool, n),
+	}
+	if base < 0 {
+		snap.Values = vals
+	} else {
+		snap.DeltaIDs, snap.DeltaValues = ids, dvals
+	}
+	if err := Save(Path(dir, s), snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializeDeltaChain(t *testing.T) {
+	dir := t.TempDir()
+	// Full at 1, deltas at 3 and 5: vertex 0 dirtied twice, vertex 2 once.
+	writeGen(t, dir, 1, -1, 3, []float64{10, 20, 30}, nil, nil)
+	writeGen(t, dir, 3, 1, 3, nil, []int32{0}, []float64{11})
+	writeGen(t, dir, 5, 3, 3, nil, []int32{0, 2}, []float64{12, 33})
+	snap, err := Materialize[float64, float64](Path(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.IsDelta() {
+		t.Error("materialized snapshot still reports IsDelta")
+	}
+	if snap.Superstep != 5 {
+		t.Errorf("Superstep = %d, want 5", snap.Superstep)
+	}
+	want := []float64{12, 20, 33}
+	for i, v := range want {
+		if snap.Values[i] != v {
+			t.Errorf("Values[%d] = %v, want %v", i, snap.Values[i], v)
+		}
+	}
+}
+
+func TestMaterializeFailsOnCorruptBase(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 1, -1, 2, []float64{1, 2}, nil, nil)
+	writeGen(t, dir, 3, 1, 2, nil, []int32{1}, []float64{9})
+	if err := os.WriteFile(Path(dir, 1), []byte("SGC1 corrupted base"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize[float64, float64](Path(dir, 3)); err == nil {
+		t.Error("Materialize over a corrupt base did not error")
+	}
+}
+
+func TestLoadChainSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 2, -1, 2, []float64{1, 2}, nil, nil)
+	writeGen(t, dir, 4, -1, 2, []float64{3, 4}, nil, nil)
+	// Torn write of the newest generation.
+	if err := os.WriteFile(Path(dir, 4), []byte("SGC1 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := LoadChain[float64, float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Superstep != 2 {
+		t.Fatalf("LoadChain fell back to %+v, want superstep 2", snap)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if snap.Values[1] != 2 {
+		t.Errorf("Values[1] = %v, want 2", snap.Values[1])
+	}
+}
+
+func TestLoadChainSkipsDeltaOnCorruptBase(t *testing.T) {
+	dir := t.TempDir()
+	// Full at 1 (will be corrupted), delta at 3 chained to it, and an older
+	// intact full at 0: the delta's whole chain must be skipped.
+	writeGen(t, dir, 0, -1, 2, []float64{7, 8}, nil, nil)
+	writeGen(t, dir, 1, -1, 2, []float64{1, 2}, nil, nil)
+	writeGen(t, dir, 3, 1, 2, nil, []int32{0}, []float64{5})
+	if err := os.WriteFile(Path(dir, 1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := LoadChain[float64, float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Superstep != 0 {
+		t.Fatalf("LoadChain = %+v, want fallback to superstep 0", snap)
+	}
+	if skipped < 2 {
+		t.Errorf("skipped = %d, want >= 2 (delta head and its corrupt base)", skipped)
+	}
+	if snap.Values[0] != 7 {
+		t.Errorf("Values[0] = %v, want 7", snap.Values[0])
+	}
+}
+
+func TestLoadChainAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 2, -1, 1, []float64{1}, nil, nil)
+	if err := os.WriteFile(Path(dir, 2), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := LoadChain[float64, float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Errorf("LoadChain = %+v, want nil (no usable generation)", snap)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+}
+
+func TestLoadChainEmptyDir(t *testing.T) {
+	snap, skipped, err := LoadChain[float64, float64](t.TempDir())
+	if err != nil || snap != nil || skipped != 0 {
+		t.Errorf("LoadChain on empty dir = (%v, %d, %v), want (nil, 0, nil)", snap, skipped, err)
+	}
+}
+
+// TestLoadChainMaxIgnoresNewer pins the reused-directory guard: a
+// recovering run restores the newest generation it has itself written,
+// never a (possibly foreign) newer one left behind by another process —
+// and the ignored generation does not count as skipped.
+func TestLoadChainMaxIgnoresNewer(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 1, -1, 2, []float64{1, 2}, nil, nil)
+	writeGen(t, dir, 4, -1, 2, []float64{9, 9}, nil, nil)
+	snap, skipped, err := LoadChainMax[float64, float64](dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Superstep != 1 {
+		t.Fatalf("snap = %+v, want the superstep-1 generation", snap)
+	}
+	if snap.Values[0] != 1 || snap.Values[1] != 2 {
+		t.Errorf("Values = %v, want [1 2]", snap.Values)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0 (the newer generation is foreign, not corrupt)", skipped)
+	}
+}
+
+// TestLoadChainMaxTornNewerInvisible: a torn file beyond the bound is
+// never even read — recovery falls straight to the bounded generation.
+func TestLoadChainMaxTornNewerInvisible(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 2, -1, 2, []float64{5, 6}, nil, nil)
+	if err := os.WriteFile(Path(dir, 3), []byte("SGC1 torn mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err := LoadChainMax[float64, float64](dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Superstep != 2 {
+		t.Fatalf("snap = %+v, want the superstep-2 generation", snap)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+}
+
+// TestLoadChainMaxNoneEligible: every generation is newer than the bound
+// (the run never checkpointed), so recovery must fall back to the initial
+// state rather than restore foreign files.
+func TestLoadChainMaxNoneEligible(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 3, -1, 2, []float64{7, 8}, nil, nil)
+	snap, skipped, err := LoadChainMax[float64, float64](dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("snap = %+v, want nil", snap)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
 	}
 }

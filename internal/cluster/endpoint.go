@@ -32,13 +32,15 @@ type Endpoint struct {
 	mu      sync.Mutex
 	nextSeq uint64
 	acks    map[uint64]chan struct{}
+	abortCh chan struct{} // closed by Abort; replaced by ResetAbort
+	aborted bool
 }
 
 // NewEndpoint registers worker id on t. onData receives Data payloads,
 // onCtrl receives Control payloads; both run on transport delivery
 // goroutines and must not block indefinitely.
 func NewEndpoint(t *Transport, id WorkerID, onData, onCtrl func(from WorkerID, payload any)) *Endpoint {
-	e := &Endpoint{t: t, id: id, onData: onData, onCtrl: onCtrl, acks: make(map[uint64]chan struct{})}
+	e := &Endpoint{t: t, id: id, onData: onData, onCtrl: onCtrl, acks: make(map[uint64]chan struct{}), abortCh: make(chan struct{})}
 	t.RegisterHandler(id, e.handle)
 	return e
 }
@@ -92,6 +94,9 @@ func (e *Endpoint) SendCtrl(to WorkerID, payload any) {
 // number of markers sent (targets minus self), so callers can account the
 // control traffic they generated.
 func (e *Endpoint) FlushWait(targets []WorkerID) int {
+	e.mu.Lock()
+	abortCh := e.abortCh
+	e.mu.Unlock()
 	chans := make([]chan struct{}, 0, len(targets))
 	for _, to := range targets {
 		if to == e.id {
@@ -107,7 +112,42 @@ func (e *Endpoint) FlushWait(targets []WorkerID) int {
 		chans = append(chans, ch)
 	}
 	for _, ch := range chans {
-		<-ch
+		select {
+		case <-ch:
+		case <-abortCh:
+			// The watchdog declared the run stalled: stop waiting for acks
+			// that may never come. Leftover ack registrations are swept by
+			// ResetAbort during recovery.
+			return len(chans)
+		}
 	}
 	return len(chans)
+}
+
+// Abort makes any current or future FlushWait stop blocking on missing
+// acks. The engine's liveness watchdog calls it when a superstep stalls
+// (e.g. a flush marker or its ack was lost) so the waiting worker can reach
+// the barrier and recovery can run.
+func (e *Endpoint) Abort() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aborted {
+		e.aborted = true
+		close(e.abortCh)
+	}
+}
+
+// ResetAbort re-arms an aborted endpoint and drops any ack registrations
+// left over from aborted flushes. Recovery calls it at the barrier (no
+// flush can be in flight) before resuming.
+func (e *Endpoint) ResetAbort() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.aborted {
+		e.aborted = false
+		e.abortCh = make(chan struct{})
+	}
+	for seq := range e.acks {
+		delete(e.acks, seq)
+	}
 }

@@ -80,6 +80,13 @@ type Fate struct {
 	// Drop discards the message; it is counted in DroppedMessages and
 	// never delivered.
 	Drop bool
+	// DropDelivery loses the message on the wire instead: it is counted as
+	// sent in the per-kind counters (the sender paid for it) but is
+	// discarded at delivery time and counted in DroppedMessages, like a
+	// message whose receiver died in flight. This is the only way to lose
+	// control traffic without skewing the send-side control ledger, which
+	// the metrics conservation checks reconcile exactly.
+	DropDelivery bool
 	// Duplicates enqueues this many extra copies (at-least-once delivery).
 	Duplicates int
 	// Delay adds straggler latency on top of the latency model.
@@ -155,6 +162,7 @@ type lane struct {
 type timed struct {
 	msg       Message
 	deliverAt time.Time
+	wireLost  bool // discard at delivery time (Fate.DropDelivery)
 }
 
 // Transport connects n workers.
@@ -277,7 +285,7 @@ func (t *Transport) Send(m Message) {
 		}
 	}
 	for c := 0; c <= fate.Duplicates; c++ {
-		t.enqueue(m, fate.Delay)
+		t.enqueue(m, fate.Delay, fate.DropDelivery)
 	}
 }
 
@@ -286,7 +294,7 @@ func (t *Transport) Send(m Message) {
 // already been closed — the check runs under the lane lock, so a Send
 // racing Close can never strand an in-flight count after the delivery
 // goroutines exit.
-func (t *Transport) enqueue(m Message, extraDelay time.Duration) {
+func (t *Transport) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
 	l := t.lanes[int(m.From)*t.n+int(m.To)]
 	now := time.Now()
 	l.mu.Lock()
@@ -314,7 +322,7 @@ func (t *Transport) enqueue(m Message, extraDelay time.Duration) {
 	}
 	depart = depart.Add(t.latency.serialization(m.Bytes))
 	l.lastDepart = depart
-	l.q = append(l.q, timed{m, depart.Add(t.latency.Propagation + extraDelay)})
+	l.q = append(l.q, timed{m, depart.Add(t.latency.Propagation + extraDelay), wireLost})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -339,9 +347,9 @@ func (t *Transport) deliver(l *lane) {
 		if d := time.Until(tm.deliverAt); d > 0 {
 			time.Sleep(d)
 		}
-		if tm.msg.Kind == Data && t.dead[tm.msg.To].Load() {
-			// The receiver crashed while the message was on the wire: its
-			// process is gone, so the bytes are lost.
+		if tm.wireLost || (tm.msg.Kind == Data && t.dead[tm.msg.To].Load()) {
+			// Lost on the wire: injected (DropDelivery) or the receiver
+			// crashed while the message was in flight.
 			t.stats.DroppedMessages.Add(1)
 		} else {
 			if h := t.handlers[tm.msg.To]; h != nil {

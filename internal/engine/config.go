@@ -95,6 +95,37 @@ func (s Sync) String() string {
 // paired with the Async engine (Theorem 1 via §4.2, §5.3, §5.4).
 func (s Sync) Serializable() bool { return s != SyncNone }
 
+// RecoveryMode selects how the engine recovers when a worker crash is
+// detected at a superstep barrier.
+type RecoveryMode uint8
+
+const (
+	// RecoverFull is Giraph-style whole-cluster rollback (§6.4): every
+	// partition discards its in-memory state and recomputes from the
+	// latest checkpoint, so recovery cost scales with cluster size.
+	RecoverFull RecoveryMode = iota
+	// RecoverConfined restores only the crashed workers' partitions from
+	// the checkpoint; healthy workers keep their in-memory state, and the
+	// messages they sent since the checkpoint are re-injected from their
+	// per-superstep message logs while the crashed partitions recompute to
+	// the frontier (the Distributed GraphLab / Pregelix approach). Falls
+	// back to full rollback whenever the log cannot cover the replay — a
+	// mid-superstep crash, a watchdog stall, a topology mutation since the
+	// checkpoint, or an unusable checkpoint chain.
+	RecoverConfined
+)
+
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoverFull:
+		return "full"
+	case RecoverConfined:
+		return "confined"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", uint8(m))
+	}
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Workers is the simulated cluster size. Default 1.
@@ -147,6 +178,18 @@ type Config struct {
 	// all within the same Run call. Requires a mode with global barriers
 	// (BSP or Async).
 	Fault *fault.Injector
+	// Recovery selects full (default) or confined crash recovery. Confined
+	// recovery additionally enables per-worker message logging between
+	// checkpoints, which is what makes partial rollback possible.
+	Recovery RecoveryMode
+	// WatchdogTimeout, when > 0, arms the liveness watchdog: a superstep
+	// whose workers have not all reached the barrier within this deadline
+	// is declared stalled — the laggards are treated as crashed, their
+	// blocking primitives (fork waits, flush-ack waits) are aborted so the
+	// barrier is reached, and recovery runs instead of the run hanging
+	// forever on, say, a lost fork or flush ack. Zero disables the
+	// watchdog. Requires a mode with global barriers.
+	WatchdogTimeout time.Duration
 	// MaxRollbacks bounds recovery attempts per run (default 16) so a
 	// pathological fault schedule terminates with an error instead of
 	// crash-looping forever.
@@ -211,6 +254,9 @@ func (c Config) validate() error {
 		if c.Fault != nil {
 			return fmt.Errorf("engine: fault injection requires barrier-based failure detection; BAP has no barriers")
 		}
+		if c.WatchdogTimeout > 0 {
+			return fmt.Errorf("engine: the liveness watchdog monitors superstep barriers; BAP has none")
+		}
 	}
 	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("engine: CheckpointEvery = %d with no CheckpointDir; checkpoints need somewhere to go", c.CheckpointEvery)
@@ -245,14 +291,28 @@ type Result struct {
 	// MaxConcurrency is the peak number of concurrently executing
 	// partitions observed (used for the Figure 1 spectrum experiment).
 	MaxConcurrency int64
-	// Rollbacks counts whole-cluster rollbacks performed in-run after a
-	// worker crash was detected at a barrier (§6.4, Giraph-style
-	// recovery). Zero on a fault-free run.
+	// Rollbacks counts in-run recoveries of either scope after a worker
+	// crash was detected at a barrier: whole-cluster rollbacks (§6.4,
+	// Giraph-style) and confined recoveries both count. Zero on a
+	// fault-free run.
 	Rollbacks int
+	// ConfinedRecoveries counts the subset of Rollbacks that were handled
+	// by confined recovery (only the crashed workers' partitions restored
+	// and recomputed).
+	ConfinedRecoveries int
+	// WatchdogStalls counts supersteps the liveness watchdog declared
+	// stalled and escalated to recovery.
+	WatchdogStalls int
 	// RecomputedSupersteps counts supersteps that were executed more than
 	// once because a rollback discarded them — the recovery's recompute
 	// cost in barriers.
 	RecomputedSupersteps int
+	// RecomputedPartitionSupersteps counts partition×superstep units
+	// re-executed by recovery: a full rollback recomputes every partition
+	// for every discarded superstep, while confined recovery recomputes
+	// only the crashed workers' partitions — this is the measure on which
+	// confined recovery wins.
+	RecomputedPartitionSupersteps int
 	// WastedMessages counts data messages sent since the restored-to
 	// point whose effects a rollback discarded — the recovery's wasted
 	// network work.

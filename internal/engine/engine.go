@@ -53,8 +53,8 @@ type runner[V, M any] struct {
 	// initialForks snapshots each lock manager's fresh fork distribution
 	// (captured before the first superstep) so a rollback with no
 	// checkpoint on disk can reset the Chandy–Misra state along with the
-	// vertex state. Indexed like workers; nil when faults are off or the
-	// technique has no managers.
+	// vertex state. Indexed like workers; nil when the technique has no
+	// managers.
 	initialForks []map[chandy.PhilID]map[chandy.PhilID]byte
 
 	// versions tracks per-vertex write versions when history is recorded.
@@ -69,6 +69,52 @@ type runner[V, M any] struct {
 	batchPool      sync.Pool
 	recycleBatches bool
 	rec            *history.Recorder
+
+	// replaying is set while confined recovery re-executes supersteps on
+	// the crashed workers' partitions. Replay executions are suppressed
+	// from the transaction recorder — the original executions were already
+	// discarded by the recorder reset, and the replay is reconstruction,
+	// not new history.
+	replaying atomic.Bool
+	// replayDest, valid while replaying is set, marks the workers being
+	// recovered. Below the frontier a replaying worker's remote sends are
+	// delivered only to other recovering workers: the healthy side already
+	// received the originals while the sender was alive, and a replayed
+	// duplicate would overwrite a healthy write store's frontier-step slot
+	// with an earlier step's value under a newer version.
+	replayDest []bool
+	// replayFrontier is the superstep the crash was detected at. The dead
+	// workers' sends during that superstep were dropped at the transport
+	// (a killed sender loses its data traffic), so the frontier replay
+	// step must deliver its regenerated sends everywhere; earlier replay
+	// steps' sends were originally delivered and stay confined.
+	replayFrontier int
+
+	// dirty marks vertices written since the last checkpoint; the next
+	// checkpoint can then be a delta generation carrying only those
+	// vertices. Allocated only when checkpointing is configured.
+	dirty []atomic.Bool
+
+	// lastCheckpoint is the superstep of the newest usable on-disk
+	// generation, -1 when none; confined recovery replays from
+	// lastCheckpoint+1, and delta generations name it as their base.
+	lastCheckpoint int
+	// gensSinceFull counts delta generations written since the last full
+	// one, bounding the chain a restore must walk.
+	gensSinceFull int
+	// forceFullCkpt forces the next generation to be full: set whenever
+	// the dirty-vertex set stopped describing the diff against the base
+	// generation (after any restore or reset).
+	forceFullCkpt bool
+	// mutatedSince marks topology mutations applied since the last
+	// checkpoint. Replay needs the topology the original supersteps ran
+	// on, so confined recovery is ineligible until the next checkpoint.
+	mutatedSince bool
+
+	// aggAt retains each superstep's merged aggregator map while confined
+	// recovery is enabled, so replayed supersteps can be fed the exact
+	// aggregate inputs their originals saw. Pruned at checkpoints.
+	aggAt map[int]map[string]float64
 
 	executions  atomic.Int64
 	concurrency atomic.Int64
@@ -108,6 +154,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		r.versions = make([]atomic.Uint32, n)
 		r.rec = history.NewRecorder()
 	}
+	r.lastCheckpoint = -1
+	if cfg.CheckpointEvery > 0 {
+		r.dirty = make([]atomic.Bool, n)
+	}
+	if cfg.Recovery == RecoverConfined {
+		r.aggAt = make(map[int]map[string]float64)
+	}
 	if cfg.Sync == TokenSingle || cfg.Sync == TokenDual {
 		r.classes = partition.Classify(g, pm)
 	}
@@ -141,11 +194,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			w.initVertexLockManager()
 		}
 	}
-	if cfg.Fault != nil {
-		for _, w := range r.workers {
-			if w.mgr != nil {
-				r.initialForks = append(r.initialForks, w.mgr.Export())
-			}
+	// Captured unconditionally (it is one map copy per manager at startup):
+	// a rollback with no checkpoint on disk — including one forced by the
+	// watchdog on an otherwise fault-free run — must be able to reset the
+	// Chandy–Misra state along with the vertex state.
+	for _, w := range r.workers {
+		if w.mgr != nil {
+			r.initialForks = append(r.initialForks, w.mgr.Export())
 		}
 	}
 	startSuperstep := 0
@@ -201,6 +256,13 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		if cfg.Fault != nil {
 			cfg.Fault.BeginSuperstep(s)
 		}
+		// Workers already dead when the superstep dispatches executed and
+		// delivered nothing mid-superstep, which is what makes their
+		// partitions cleanly replayable by confined recovery.
+		var deadAtStart []cluster.WorkerID
+		if cfg.Recovery == RecoverConfined {
+			deadAtStart = r.tr.DeadWorkers()
+		}
 		stepStart := time.Now()
 		execsBefore := r.executions.Load()
 		netBefore := r.tr.Stats().Load()
@@ -211,8 +273,10 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		for _, w := range r.workers {
 			w.startCh <- s
 		}
-		for _, w := range r.workers {
-			<-w.doneCh
+		stalled := r.collectWorkers()
+		if stalled {
+			r.reg.Add(metrics.WatchdogStalls, 1)
+			res.WatchdogStalls++
 		}
 		r.tr.WaitIdle()
 		// Superstep metrics are recorded before the failure check: a
@@ -236,17 +300,32 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 				r.shutdownWorkers()
 				return nil, Result{}, nil, fmt.Errorf("engine: workers %v still failing after %d rollbacks (MaxRollbacks)", dead, cfg.MaxRollbacks)
 			}
-			res.WastedMessages += r.tr.Stats().Load().DataMessages - restoreNet.DataMessages
-			resume, err := r.rollback()
-			if err != nil {
-				r.shutdownWorkers()
-				return nil, Result{}, nil, err
+			confined := false
+			if r.confinedEligible(dead, deadAtStart, stalled) {
+				ok, err := r.confinedRecover(&res, s, dead)
+				if err != nil {
+					r.shutdownWorkers()
+					return nil, Result{}, nil, err
+				}
+				confined = ok
 			}
-			res.RecomputedSupersteps += s + 1 - resume
-			restoreNet = r.tr.Stats().Load()
-			windowAgg = make(map[string]float64) // discarded supersteps replay
-			s = resume - 1                       // the loop increment lands on resume
-			continue
+			if !confined {
+				res.WastedMessages += r.tr.Stats().Load().DataMessages - restoreNet.DataMessages
+				resume, err := r.rollback()
+				if err != nil {
+					r.shutdownWorkers()
+					return nil, Result{}, nil, err
+				}
+				res.RecomputedSupersteps += s + 1 - resume
+				res.RecomputedPartitionSupersteps += (s + 1 - resume) * p
+				restoreNet = r.tr.Stats().Load()
+				windowAgg = make(map[string]float64) // discarded supersteps replay
+				s = resume - 1                       // the loop increment lands on resume
+				continue
+			}
+			// Confined recovery brought the crashed workers' partitions back
+			// to the frontier: superstep s has now been (re)computed by every
+			// partition, so the superstep commits normally below.
 		}
 		res.Supersteps = s + 1
 		if cfg.DetailedStats {
@@ -265,6 +344,9 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		}
 
 		merged := r.mergeAggregators()
+		if r.aggAt != nil {
+			r.aggAt[s] = merged
+		}
 		if cfg.Mode == BSP {
 			for _, w := range r.workers {
 				w.swapStores()
@@ -406,6 +488,10 @@ func (r *runner[V, M]) applyMutations() error {
 	if r.cfg.Sync != SyncNone {
 		return fmt.Errorf("engine: topology mutations require SyncNone; %v assumes a static graph", r.cfg.Sync)
 	}
+	// Replay needs the topology the original supersteps ran on; until the
+	// next checkpoint captures a post-mutation restore point, confined
+	// recovery is off the table.
+	r.mutatedSince = true
 
 	present := make(map[edgeKey]struct{}, r.g.NumEdges())
 	var edges []graph.Edge
@@ -475,20 +561,47 @@ func (r *runner[V, M]) shutdownWorkers() {
 	}
 }
 
+// fullCheckpointEvery bounds a delta chain: at most this many generations
+// (one full plus its deltas) ever need to be read to materialize a restore
+// point.
+const fullCheckpointEvery = 4
+
 // takeCheckpoint snapshots the run after superstep s completed. The master
 // calls it at the barrier, when no vertices execute and the transport is
-// idle, so the captured state is consistent (§6.4).
+// idle, so the captured state is consistent (§6.4). When a base generation
+// exists and the dirty-vertex set is trustworthy, the generation is a delta
+// carrying only the vertices written since the base; stores, halt flags,
+// aggregators, and fork state are small relative to values and are always
+// captured in full.
 func (r *runner[V, M]) takeCheckpoint(s int) error {
+	useDelta := r.dirty != nil && r.lastCheckpoint >= 0 && !r.forceFullCkpt &&
+		r.gensSinceFull < fullCheckpointEvery-1
 	snap := &checkpoint.Snapshot[V, M]{
-		Superstep: s,
-		Values:    append([]V(nil), r.values...),
-		Halted:    append([]bool(nil), r.halted...),
-		AggPrev:   r.workers[0].aggPrev,
+		Superstep:   s,
+		Base:        -1,
+		NumVertices: len(r.values),
+		Halted:      append([]bool(nil), r.halted...),
+		AggPrev:     r.workers[0].aggPrev,
 	}
-	if r.versions != nil {
-		snap.Versions = make([]uint32, len(r.versions))
-		for v := range r.versions {
-			snap.Versions[v] = r.versions[v].Load()
+	if useDelta {
+		snap.Base = r.lastCheckpoint
+		for v := range r.dirty {
+			if !r.dirty[v].Load() {
+				continue
+			}
+			snap.DeltaIDs = append(snap.DeltaIDs, int32(v))
+			snap.DeltaValues = append(snap.DeltaValues, r.values[v])
+			if r.versions != nil {
+				snap.DeltaVersions = append(snap.DeltaVersions, r.versions[v].Load())
+			}
+		}
+	} else {
+		snap.Values = append([]V(nil), r.values...)
+		if r.versions != nil {
+			snap.Versions = make([]uint32, len(r.versions))
+			for v := range r.versions {
+				snap.Versions[v] = r.versions[v].Load()
+			}
 		}
 	}
 	for _, w := range r.workers {
@@ -497,18 +610,51 @@ func (r *runner[V, M]) takeCheckpoint(s int) error {
 			snap.Forks = append(snap.Forks, w.mgr.Export())
 		}
 	}
-	return checkpoint.Save(checkpoint.Path(r.cfg.CheckpointDir, s), snap)
+	if err := checkpoint.Save(checkpoint.Path(r.cfg.CheckpointDir, s), snap); err != nil {
+		return err
+	}
+	if useDelta {
+		r.gensSinceFull++
+	} else {
+		r.gensSinceFull = 0
+	}
+	r.forceFullCkpt = false
+	r.lastCheckpoint = s
+	r.mutatedSince = false
+	for v := range r.dirty {
+		r.dirty[v].Store(false)
+	}
+	// Everything at or before s is durable now: message logs kept for
+	// confined replay and retained aggregate snapshots can shed it.
+	for _, w := range r.workers {
+		if w.log != nil {
+			w.log.TruncateThrough(s)
+		}
+	}
+	for k := range r.aggAt {
+		if k < s {
+			delete(r.aggAt, k)
+		}
+	}
+	return nil
 }
 
-// restore loads a checkpoint and reinstates values, halt flags, message
-// stores, aggregators, write versions, and fork state. Callers must
-// present clean workers — either freshly constructed (the RestoreFrom
-// path) or reset by rollback. Returns the superstep to resume at.
+// restore loads a checkpoint generation (materializing its delta chain if
+// needed) and reinstates it. Callers must present clean workers — either
+// freshly constructed (the RestoreFrom path) or reset by rollback. Returns
+// the superstep to resume at.
 func (r *runner[V, M]) restore(path string) (int, error) {
-	snap, err := checkpoint.Load[V, M](path)
+	snap, err := checkpoint.Materialize[V, M](path)
 	if err != nil {
 		return 0, err
 	}
+	return r.restoreSnapshot(snap)
+}
+
+// restoreSnapshot reinstates a materialized (full) snapshot: values, halt
+// flags, message stores, aggregators, write versions, and fork state.
+// Returns the superstep to resume at.
+func (r *runner[V, M]) restoreSnapshot(snap *checkpoint.Snapshot[V, M]) (int, error) {
 	if len(snap.Values) != len(r.values) {
 		return 0, fmt.Errorf("engine: checkpoint has %d vertices, graph has %d", len(snap.Values), len(r.values))
 	}
@@ -530,6 +676,10 @@ func (r *runner[V, M]) restore(path string) (int, error) {
 		}
 		w.recomputeUnhalted()
 	}
+	// The dirty-vertex set no longer describes a diff against any on-disk
+	// generation, so the next checkpoint must be full.
+	r.lastCheckpoint = snap.Superstep
+	r.forceFullCkpt = true
 	return snap.Superstep + 1, nil
 }
 
@@ -557,25 +707,51 @@ func (r *runner[V, M]) rollback() (int, error) {
 		w.mutMu.Lock()
 		w.mutAdds, w.mutRemoves = nil, nil
 		w.mutMu.Unlock()
+		// Clear any watchdog abort so flush protocols block normally again.
+		w.ep.ResetAbort()
+		if w.mgr != nil {
+			w.mgr.ClearAbort()
+		}
 	}
 	resume := 0
-	latest := ""
-	if r.cfg.CheckpointDir != "" {
+	var snap *checkpoint.Snapshot[V, M]
+	// Only generations this run has itself written are candidates: a
+	// reused checkpoint directory may hold newer files from an earlier
+	// process, and restoring one would jump the run forward past
+	// supersteps it never executed.
+	if r.cfg.CheckpointDir != "" && r.lastCheckpoint >= 0 {
+		var skipped int
 		var err error
-		latest, err = checkpoint.Latest(r.cfg.CheckpointDir)
+		snap, skipped, err = checkpoint.LoadChainMax[V, M](r.cfg.CheckpointDir, r.lastCheckpoint)
 		if err != nil {
 			return 0, err
 		}
+		if skipped > 0 {
+			r.reg.Add(metrics.CheckpointGensSkipped, int64(skipped))
+		}
 	}
-	if latest != "" {
+	if snap != nil {
 		var err error
-		resume, err = r.restore(latest)
+		resume, err = r.restoreSnapshot(snap)
 		if err != nil {
 			return 0, err
 		}
 	} else {
 		r.resetToInitial()
+		r.lastCheckpoint = -1
+		r.forceFullCkpt = true
 	}
+	for _, w := range r.workers {
+		if w.log != nil {
+			w.log.Reset(resume)
+		}
+	}
+	for k := range r.aggAt {
+		if k >= resume {
+			delete(r.aggAt, k)
+		}
+	}
+	r.reg.Add(metrics.PartitionsRestored, int64(r.cfg.Workers*r.cfg.PartitionsPerWorker))
 	if r.rec != nil {
 		// The discarded executions' transactions go with them: the
 		// history that must be serializable is the replay from the
@@ -605,6 +781,366 @@ func (r *runner[V, M]) resetToInitial() {
 		}
 		w.recomputeUnhalted()
 	}
+}
+
+// confinedEligible decides whether the crash detected at superstep s's
+// barrier can be recovered by confined replay (only the crashed workers'
+// partitions roll back) instead of a full rollback. Confinement requires:
+// the mode is enabled; the watchdog did not declare a stall (a stall means
+// in-memory protocol state is suspect everywhere); no topology mutation
+// since the last checkpoint (replay needs the topology the originals ran
+// on); at least one survivor; every dead worker was already dead when the
+// superstep dispatched (a mid-superstep crash leaks partial sends into
+// healthy state); and every healthy worker's message log still covers the
+// replay window.
+func (r *runner[V, M]) confinedEligible(dead, deadAtStart []cluster.WorkerID, stalled bool) bool {
+	if r.cfg.Recovery != RecoverConfined || stalled || r.mutatedSince {
+		return false
+	}
+	// BAP has no global superstep barriers, so the replay dispatch protocol
+	// (re-running superstep k on the dead workers while the healthy ones
+	// idle) does not apply; only full rollback is available there.
+	if r.cfg.Mode == BAP {
+		return false
+	}
+	// Under async modes the replay is not an exact reconstruction — logged
+	// messages that were dropped on the wire change the re-execution — so
+	// the dead workers' regenerated sends are delivered to healthy workers
+	// as semantic duplicates, and injected log entries can reach a replayed
+	// vertex EARLIER than any fault-free timeline would have delivered
+	// them. Overwrite (latest value wins) and Combine (idempotent fold)
+	// absorb duplicates and tolerate early supersets — provided Compute
+	// never conditions its sends on the *absence* of messages (a
+	// superstep- or value-based bootstrap guard is replay-safe; a
+	// len(msgs)==0 guard is not). Queue semantics would count a message
+	// twice, so those programs get a full rollback instead.
+	if r.cfg.Mode != BSP && r.prog.Semantics == model.Queue {
+		return false
+	}
+	if len(dead) >= len(r.workers) {
+		return false
+	}
+	atStart := make(map[cluster.WorkerID]bool, len(deadAtStart))
+	for _, wid := range deadAtStart {
+		atStart[wid] = true
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, wid := range dead {
+		if !atStart[wid] {
+			return false
+		}
+		deadSet[int(wid)] = true
+	}
+	for i, w := range r.workers {
+		if deadSet[i] {
+			continue
+		}
+		if w.log == nil || !w.log.Covers(r.lastCheckpoint+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// confinedRecover rolls back only the dead workers' partitions to the last
+// checkpoint (or the initial state when none exists) and replays supersteps
+// lastCheckpoint+1..s on them: healthy workers' sends come from their
+// message logs, and the dead workers recompute their own executions.
+// Healthy partitions keep their in-memory state throughout. Returns
+// (false, nil) when the checkpoint chain turned out to be unusable — the
+// caller then falls back to a full rollback, which is why nothing is
+// mutated before validation passes.
+func (r *runner[V, M]) confinedRecover(res *Result, s int, dead []cluster.WorkerID) (bool, error) {
+	c := r.lastCheckpoint
+	var snap *checkpoint.Snapshot[V, M]
+	if c >= 0 {
+		var skipped int
+		var err error
+		// Bounded like rollback's restore: a reused directory's newer
+		// foreign generations must not shadow the checkpoint this run took.
+		snap, skipped, err = checkpoint.LoadChainMax[V, M](r.cfg.CheckpointDir, c)
+		if skipped > 0 {
+			r.reg.Add(metrics.CheckpointGensSkipped, int64(skipped))
+		}
+		if err != nil {
+			return false, err
+		}
+		if snap == nil || snap.Superstep != c ||
+			len(snap.Values) != len(r.values) || len(snap.Stores) != len(r.workers) {
+			// The generation the run believes in is gone or corrupt; let the
+			// full rollback walk the fallback chain instead.
+			return false, nil
+		}
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, wid := range dead {
+		deadSet[int(wid)] = true
+	}
+	for _, wid := range dead {
+		r.tr.Revive(wid)
+	}
+
+	// For the fork-based techniques, the healthy side of every dead–healthy
+	// edge is authoritative: at a quiescent barrier all philosophers are
+	// thinking and all held forks are dirty, so mirroring the live export
+	// reconstructs a consistent pair. Dead–dead edges come from the
+	// checkpoint (or initial distribution), which stores both ends
+	// consistently.
+	var healthyForks []map[chandy.PhilID]map[chandy.PhilID]byte
+	if r.cfg.Sync == PartitionLock || r.cfg.Sync == VertexLockGiraph {
+		healthyForks = make([]map[chandy.PhilID]map[chandy.PhilID]byte, len(r.workers))
+		for i, w := range r.workers {
+			if !deadSet[i] && w.mgr != nil {
+				healthyForks[i] = w.mgr.Export()
+			}
+		}
+	}
+
+	deadParts := 0
+	for d, w := range r.workers {
+		if !deadSet[d] {
+			continue
+		}
+		deadParts += len(w.parts)
+		w.buf.Clear()
+		w.stores[0].Clear()
+		if w.stores[1] != nil {
+			w.stores[1].Clear()
+		}
+		w.aggMu.Lock()
+		w.aggLocal = make(map[string]float64)
+		w.aggMu.Unlock()
+		w.mutMu.Lock()
+		w.mutAdds, w.mutRemoves = nil, nil
+		w.mutMu.Unlock()
+		for _, p := range w.parts {
+			for _, v := range r.pm.Vertices(p) {
+				vi := int(v)
+				if snap != nil {
+					r.values[vi] = snap.Values[vi]
+					r.halted[vi] = snap.Halted[vi]
+					if r.versions != nil && len(snap.Versions) == len(r.versions) {
+						r.versions[vi].Store(snap.Versions[vi])
+					}
+				} else {
+					if r.prog.Init != nil {
+						r.values[vi] = r.prog.Init(v, r.g)
+					} else {
+						var zero V
+						r.values[vi] = zero
+					}
+					r.halted[vi] = false
+				}
+			}
+		}
+		if snap != nil {
+			w.readStore().Load(snap.Stores[d])
+		}
+		if healthyForks != nil && w.mgr != nil {
+			var base map[chandy.PhilID]map[chandy.PhilID]byte
+			if snap != nil && d < len(snap.Forks) {
+				base = snap.Forks[d]
+			} else if d < len(r.initialForks) {
+				base = r.initialForks[d]
+			}
+			state := make(map[chandy.PhilID]map[chandy.PhilID]byte, len(base))
+			for pid, peers := range base {
+				row := make(map[chandy.PhilID]byte, len(peers))
+				for qid, st := range peers {
+					if qw := r.philOwner(qid); !deadSet[qw] && healthyForks[qw] != nil {
+						st = chandy.Mirror(healthyForks[qw][qid][pid])
+					}
+					row[qid] = st
+				}
+				state[pid] = row
+			}
+			w.mgr.Import(state)
+		}
+		w.recomputeUnhalted()
+		if w.log != nil {
+			// The dead worker re-logs its sends as it replays.
+			w.log.Rewind(c + 1)
+		}
+	}
+
+	replayed := int64(0)
+	r.replayDest = make([]bool, len(r.workers))
+	for d := range r.workers {
+		r.replayDest[d] = deadSet[d]
+	}
+	r.replayFrontier = s
+	r.replaying.Store(true)
+	for k := c + 1; k <= s; k++ {
+		prev := r.prevAgg(k-1, snap)
+		for d, w := range r.workers {
+			if !deadSet[d] {
+				continue
+			}
+			w.aggPrev = prev
+			// Logged step-k entries are injected BEFORE replay pass k. For
+			// BSP they land in the write store, readable only after the
+			// swap — the exact original schedule. For async they become
+			// visible at pass k, possibly EARLIER than the original eager
+			// delivery managed mid-pass — and an entry logged at step k by
+			// an earlier recovery's replay may even descend from this
+			// worker's own discarded step-k sends. Early delivery of a
+			// superset is the contract async confined replay imposes on
+			// programs: Compute may not condition sends on the *absence*
+			// of messages (see the eligibility note above) — one-shot
+			// reads like greedy coloring need the replicas by pass k, and
+			// monotone folds only ever benefit from seeing more sooner.
+			for h, hw := range r.workers {
+				if deadSet[h] || hw.log == nil {
+					continue
+				}
+				if ents := hw.log.Entries(k, d); len(ents) > 0 {
+					w.writeStore().PutBatch(ents)
+					replayed += int64(len(ents))
+				}
+			}
+		}
+		for d, w := range r.workers {
+			if deadSet[d] {
+				w.startCh <- k
+			}
+		}
+		for d, w := range r.workers {
+			if deadSet[d] {
+				<-w.doneCh
+			}
+		}
+		r.tr.WaitIdle()
+		if k < s {
+			for d, w := range r.workers {
+				if !deadSet[d] {
+					continue
+				}
+				if r.cfg.Mode == BSP {
+					w.swapStores()
+				}
+				// The originals of these aggregates and mutation intents were
+				// already merged/applied at the original barriers; the
+				// replay's copies must not count twice. Superstep s's are
+				// kept — the caller falls through to the normal barrier
+				// processing, which consumes them alongside the healthy
+				// workers'.
+				w.aggMu.Lock()
+				w.aggLocal = make(map[string]float64)
+				w.aggMu.Unlock()
+				w.mutMu.Lock()
+				w.mutAdds, w.mutRemoves = nil, nil
+				w.mutMu.Unlock()
+			}
+		}
+	}
+	r.replaying.Store(false)
+	r.replayDest = nil
+
+	r.reg.Add(metrics.PartitionsRestored, int64(deadParts))
+	r.reg.Add(metrics.MessagesReplayed, replayed)
+	r.reg.Add(metrics.ConfinedRecoveries, 1)
+	res.ConfinedRecoveries++
+	res.RecomputedSupersteps += s - c
+	res.RecomputedPartitionSupersteps += (s - c) * deadParts
+	if r.rec != nil {
+		// The crashed workers' discarded executions take their transactions
+		// with them; replay executions are suppressed from recording, so the
+		// history restarts clean from superstep s+1.
+		r.rec.Reset()
+	}
+	return true, nil
+}
+
+// prevAgg returns the merged aggregates of superstep k, which replay feeds
+// to superstep k+1 as its aggPrev: the retained ring first, then the
+// checkpoint's capture, then empty (k before the first superstep).
+func (r *runner[V, M]) prevAgg(k int, snap *checkpoint.Snapshot[V, M]) map[string]float64 {
+	if k < 0 {
+		return make(map[string]float64)
+	}
+	if a, ok := r.aggAt[k]; ok {
+		return a
+	}
+	if snap != nil && k == snap.Superstep && snap.AggPrev != nil {
+		return snap.AggPrev
+	}
+	return make(map[string]float64)
+}
+
+// philOwner maps a philosopher ID to the worker hosting it: partitions are
+// the philosophers under PartitionLock, vertices under VertexLockGiraph.
+func (r *runner[V, M]) philOwner(id chandy.PhilID) int {
+	if r.cfg.Sync == PartitionLock {
+		return r.pm.WorkerOfPartition(partition.ID(id))
+	}
+	return r.pm.WorkerOf(graph.VertexID(id))
+}
+
+// collectWorkers waits for every worker to reach superstep s's barrier.
+// With no watchdog configured it blocks indefinitely (the pre-watchdog
+// behavior). With one, a worker that has not finished within the deadline
+// is declared stalled: the watchdog kills the unfinished workers (their
+// state is suspect — typically a lost control message wedged them
+// mid-protocol) and aborts every manager and endpoint so blocked
+// fork-acquires and flush-waits return and the barrier completes. The
+// caller then runs recovery exactly as for a crash. Returns whether the
+// watchdog fired.
+func (r *runner[V, M]) collectWorkers() bool {
+	if r.cfg.WatchdogTimeout <= 0 {
+		for _, w := range r.workers {
+			<-w.doneCh
+		}
+		return false
+	}
+	done := make(chan int, len(r.workers))
+	for i, w := range r.workers {
+		go func(i int, w *worker[V, M]) {
+			<-w.doneCh
+			done <- i
+		}(i, w)
+	}
+	finished := make([]bool, len(r.workers))
+	remaining := len(r.workers)
+	timer := time.NewTimer(r.cfg.WatchdogTimeout)
+	defer timer.Stop()
+	fired := false
+	for remaining > 0 {
+		select {
+		case i := <-done:
+			finished[i] = true
+			remaining--
+		case <-timer.C:
+			// Workers may have finished concurrently with the timer firing;
+			// drain those before judging. Declaring a stall on a run that
+			// actually completed would poison healthy state.
+			draining := true
+			for draining && remaining > 0 {
+				select {
+				case i := <-done:
+					finished[i] = true
+					remaining--
+				default:
+					draining = false
+				}
+			}
+			if remaining == 0 {
+				break
+			}
+			fired = true
+			for i := range r.workers {
+				if !finished[i] {
+					r.tr.Kill(cluster.WorkerID(i))
+				}
+			}
+			for _, w := range r.workers {
+				w.ep.Abort()
+				if w.mgr != nil {
+					w.mgr.Abort()
+				}
+			}
+		}
+	}
+	return fired
 }
 
 // tokenState reports the token positions at superstep s. Under TokenSingle

@@ -110,6 +110,53 @@ func TestAsyncSamePartitionEagerVisibility(t *testing.T) {
 	}
 }
 
+// TestStagedFoldTimingSampled pins the sampled staged-fold timing path:
+// a single-threaded worker folds 8 partitions × 16 supersteps = 128 staged
+// batches, so the 1-in-64 sampler fires exactly twice. The message counts
+// must stay exact (sampling covers only the clock, never the fold), and
+// the sampled durations must surface — scaled — in PhaseLocalDelivery,
+// which async-none runs previously lost entirely when their staged folds
+// were never timed.
+func TestStagedFoldTimingSampled(t *testing.T) {
+	const n, rounds = 128, 16
+	b := graph.NewBuilder(n)
+	edges := 0
+	for u := 0; u < n; u++ {
+		for _, d := range []int{1, 5, 9, 17} {
+			b.AddEdge(graph.VertexID(u), graph.VertexID((u+d)%n))
+			edges++
+		}
+	}
+	g := b.Build()
+	prog := model.Program[int, int]{
+		Semantics: model.Queue,
+		Compute: func(ctx model.Context[int, int], msgs []int) {
+			if ctx.Superstep() < rounds {
+				ctx.SendToAllOut(1)
+			}
+			ctx.VoteToHalt()
+		},
+		MsgBytes: 8,
+	}
+	_, res, _, err := Run(g, prog, Config{
+		Workers: 1, PartitionsPerWorker: 8, ThreadsPerWorker: 1,
+		Mode: BSP, Sync: SyncNone, Seed: 3, MaxSupersteps: rounds + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if got, want := m.Get(metrics.LocalMessages), int64(edges*rounds); got != want {
+		t.Errorf("local_messages = %d, want %d (exact despite timing sampling)", got, want)
+	}
+	if got := m.Get(metrics.RemoteEntries); got != 0 {
+		t.Errorf("remote_entries = %d, want 0 (single worker)", got)
+	}
+	if m.PhaseNs[metrics.PhaseLocalDelivery] <= 0 {
+		t.Errorf("PhaseLocalDelivery = %d ns, want > 0 (staged folds must be sampled)", m.PhaseNs[metrics.PhaseLocalDelivery])
+	}
+}
+
 // TestStagedCountsExact runs a multi-worker broadcast where every message
 // count is computable in closed form, and checks the staged paths did not
 // lose or double-count anything: each of the n vertices broadcasts along

@@ -62,6 +62,17 @@ type worker[V, M any] struct {
 	mutAdds    []graph.Edge
 	mutRemoves []edgeKey
 
+	// log records every outgoing remote batch by (superstep, destination) so
+	// confined recovery can re-inject this worker's sends into a crashed
+	// peer's store instead of rolling the whole cluster back. Nil unless
+	// fault injection and confined recovery are both configured.
+	log *msgstore.Log[M]
+
+	// curStep is the superstep currently executing, read by the buffer
+	// cache's emit path (which runs on compute threads and, via FlushTo,
+	// fork pre-handoffs) to key log appends.
+	curStep atomic.Int64
+
 	// unhalted counts owned vertices that have not voted to halt; BAP's
 	// activity and quiescence checks read it without touching the halted
 	// slice from other goroutines.
@@ -109,9 +120,29 @@ func newWorker[V, M any](r *runner[V, M], id int) *worker[V, M] {
 			w.otherWks = append(w.otherWks, cluster.WorkerID(o))
 		}
 	}
+	if r.cfg.Fault != nil && r.cfg.Recovery == RecoverConfined {
+		w.log = msgstore.NewLog[M]()
+	}
 	w.buf = msgstore.NewBuffer[M](r.cfg.Workers, r.cfg.BufferCap, r.prog.MsgBytes,
 		cluster.BatchHeaderBytes, cluster.EntryHeaderBytes,
 		func(dest int, batch []msgstore.Entry[M], bytes int) {
+			if w.log != nil {
+				// Logged before the send so even a batch the fault injector
+				// drops on the wire remains replayable.
+				w.log.Append(int(w.curStep.Load()), dest, batch)
+			}
+			if r.cfg.Mode == BSP && r.replaying.Load() && !r.replayDest[dest] &&
+				int(w.curStep.Load()) < r.replayFrontier {
+				// Confined BSP replay below the frontier is an exact
+				// reconstruction of sends the healthy destination already
+				// received while this worker was still alive; delivering the
+				// duplicate would stamp a stale step's value over the
+				// destination's current (frontier-step) slot under a newer
+				// version. Frontier-step sends were dropped with the crash
+				// (a killed sender loses its data traffic) and must flow.
+				r.reg.Add(metrics.ReplayBatchesSuppressed, 1)
+				return
+			}
 			w.ep.SendData(cluster.WorkerID(dest), batch, bytes)
 		})
 	w.buf.SetMetrics(r.reg)
@@ -269,6 +300,7 @@ func (w *worker[V, M]) loop() {
 }
 
 func (w *worker[V, M]) runSuperstep(s int) {
+	w.curStep.Store(int64(s))
 	reg := w.r.reg
 	computeStart := time.Now()
 	queue := make(chan partition.ID, len(w.parts))
@@ -311,10 +343,12 @@ func (w *worker[V, M]) runSuperstep(s int) {
 }
 
 // localTimingSampleShift sets the local-delivery timing sample rate: one
-// in 2^6 = 64 direct local deliveries is timed and its duration scaled by
-// 64 into PhaseLocalDelivery. Message *counts* stay exact — only the
-// phase duration is sampled (DESIGN.md §9). Staged-fold durations are
-// measured in full: one clock pair per partition is already amortized.
+// in 2^6 = 64 timed events, each duration scaled by 64 into
+// PhaseLocalDelivery. Both delivery paths sample uniformly — the eager
+// per-message path and the staged-fold batch apply — so async-none runs
+// (whose staged folds dominate) pay the same near-zero clock overhead as
+// the eager path. Message *counts* stay exact — only the phase duration
+// is sampled (DESIGN.md §9).
 const localTimingSampleShift = 6
 
 // thread is per-compute-thread scratch state. The step-local metric
@@ -362,7 +396,8 @@ type thread[V, M any] struct {
 	execs     int64
 	localMsgs int64
 	localNs   int64
-	sendSeq   uint64 // local-delivery sampling counter
+	sendSeq   uint64 // eager local-delivery sampling counter
+	foldSeq   uint64 // staged-fold sampling counter
 }
 
 // stage buffers a local message, pre-applying the combiner thread-locally
@@ -389,9 +424,14 @@ func (t *thread[V, M]) stage(dst, src graph.VertexID, m M, ver uint32, slot uint
 // fork release under PartitionLock).
 func (t *thread[V, M]) flushStaged() {
 	if len(t.staged) > 0 {
-		t0 := time.Now()
-		t.w.writeStore().PutBatch(t.staged)
-		t.localNs += int64(time.Since(t0))
+		t.foldSeq++
+		if t.foldSeq&(1<<localTimingSampleShift-1) == 0 {
+			t0 := time.Now()
+			t.w.writeStore().PutBatch(t.staged)
+			t.localNs += int64(time.Since(t0)) << localTimingSampleShift
+		} else {
+			t.w.writeStore().PutBatch(t.staged)
+		}
 		t.staged = t.staged[:0]
 		if t.stageSlot != nil {
 			clear(t.stageSlot)
@@ -456,7 +496,9 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 		if !r.cfg.DisableHaltedPartitionSkip && !t.anyActive(verts) {
 			return
 		}
-		w.mgr.Acquire(chandy.PhilID(p))
+		if !w.mgr.Acquire(chandy.PhilID(p)) {
+			return // watchdog abort: the run is headed into recovery
+		}
 		t.executeVertices(verts, nil)
 		t.flushStaged() // before Release: neighbors must read fresh replicas
 		w.mgr.Release(chandy.PhilID(p))
@@ -502,7 +544,9 @@ func (t *thread[V, M]) runPartition(p partition.ID) {
 				continue
 			}
 			if r.pBoundary[v] {
-				w.mgr.Acquire(chandy.PhilID(v))
+				if !w.mgr.Acquire(chandy.PhilID(v)) {
+					return // watchdog abort: the run is headed into recovery
+				}
 				t.executeVertex(v, st)
 				w.mgr.Release(chandy.PhilID(v))
 			} else {
@@ -547,8 +591,13 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 	r := t.w.r
 	t.execs++
 
+	// Replay executions during confined recovery reconstruct state the
+	// recorder already discarded; recording them would interleave a partial
+	// re-run with the post-recovery history.
+	recording := r.rec != nil && !r.replaying.Load()
+
 	var txn history.Txn
-	if r.rec != nil {
+	if recording {
 		txn.Vertex = v
 		txn.Start = r.rec.Tick()
 		txn.ReadVer = r.versions[v].Load()
@@ -556,7 +605,7 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 
 	st.Read(v, &t.reader)
 
-	if r.rec != nil && len(t.reader.Srcs) > 0 {
+	if recording && len(t.reader.Srcs) > 0 {
 		txn.Reads = make([]history.Read, 0, len(t.reader.Srcs))
 		for i, src := range t.reader.Srcs {
 			txn.Reads = append(txn.Reads, history.Read{
@@ -578,7 +627,7 @@ func (t *thread[V, M]) executeVertex(v graph.VertexID, st *msgstore.Store[M]) {
 		r.halted[v] = t.ctx.votedHalt
 	}
 
-	if r.rec != nil {
+	if recording {
 		txn.End = r.rec.Tick()
 		txn.Wrote = t.ctx.wrote
 		txn.WriteVer = r.versions[v].Load()
@@ -609,6 +658,9 @@ func (c *vctx[V, M]) SetValue(v V) {
 	c.wrote = true
 	if c.w.r.versions != nil {
 		c.w.r.versions[c.id].Add(1)
+	}
+	if c.w.r.dirty != nil {
+		c.w.r.dirty[c.id].Store(true)
 	}
 }
 

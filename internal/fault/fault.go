@@ -52,10 +52,31 @@ func (c Crash) String() string {
 	return fmt.Sprintf("crash worker %d at superstep %d", c.Worker, c.AtSuperstep)
 }
 
+// CtrlDrop schedules a control-plane loss: starting when superstep
+// AtSuperstep begins, the next Count control messages sent are lost on the
+// wire (delivery-time drops, so the send-side control ledger that the
+// metrics conservation checks reconcile stays exact). Losing a token, fork,
+// or flush marker wedges the coordination protocol it belongs to — which is
+// precisely the stall the engine's liveness watchdog exists to detect, so
+// CtrlDrops are the watchdog's test vector rather than part of the random
+// chaos space.
+type CtrlDrop struct {
+	// AtSuperstep arms the drop when this superstep begins.
+	AtSuperstep int
+	// Count is how many control messages to lose once armed.
+	Count int
+}
+
+func (c CtrlDrop) String() string {
+	return fmt.Sprintf("drop %d control messages at superstep %d", c.Count, c.AtSuperstep)
+}
+
 // Plan is the full fault schedule for one run.
 type Plan struct {
 	// Crashes lists the scheduled worker failures.
 	Crashes []Crash
+	// CtrlDrops lists scheduled control-message losses (see CtrlDrop).
+	CtrlDrops []CtrlDrop
 	// DropRate is the probability a data message is dropped in flight.
 	DropRate float64
 	// DuplicateRate is the probability a data message is delivered twice.
@@ -76,11 +97,11 @@ func (p Plan) chaotic() bool {
 }
 
 func (p Plan) String() string {
-	if len(p.Crashes) == 0 && !p.chaotic() {
+	if len(p.Crashes) == 0 && len(p.CtrlDrops) == 0 && !p.chaotic() {
 		return "none"
 	}
-	return fmt.Sprintf("{crashes=%d drop=%.3f dup=%.3f straggle=%.3f seed=%#x}",
-		len(p.Crashes), p.DropRate, p.DuplicateRate, p.StragglerRate, p.Seed)
+	return fmt.Sprintf("{crashes=%d ctrldrops=%d drop=%.3f dup=%.3f straggle=%.3f seed=%#x}",
+		len(p.Crashes), len(p.CtrlDrops), p.DropRate, p.DuplicateRate, p.StragglerRate, p.Seed)
 }
 
 // RandomPlan draws a reproducible random fault schedule for a cluster of n
@@ -122,6 +143,7 @@ type Stats struct {
 	Drops        int64
 	Duplicates   int64
 	Delays       int64
+	CtrlDrops    int64
 }
 
 // Injector executes a Plan against one run. Create one per run with
@@ -131,26 +153,35 @@ type Injector struct {
 	plan Plan
 	tr   atomic.Pointer[cluster.Transport]
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	fired []bool // per Crashes entry
+	mu       sync.Mutex
+	rng      *rand.Rand
+	fired    []bool // per Crashes entry
+	ctrlLeft []int  // per CtrlDrops entry: losses still to inject
 
+	curStep   atomic.Int64 // superstep last begun; -1 before the run
 	delivered atomic.Int64 // data messages delivered cluster-wide
 
 	crashesFired atomic.Int64
 	drops        atomic.Int64
 	duplicates   atomic.Int64
 	delays       atomic.Int64
+	ctrlDrops    atomic.Int64
 }
 
 // NewInjector builds an injector for the plan. Validate the plan against
 // the cluster size with Validate before the run starts.
 func NewInjector(p Plan) *Injector {
-	return &Injector{
-		plan:  p,
-		rng:   rand.New(rand.NewSource(int64(p.Seed))),
-		fired: make([]bool, len(p.Crashes)),
+	in := &Injector{
+		plan:     p,
+		rng:      rand.New(rand.NewSource(int64(p.Seed))),
+		fired:    make([]bool, len(p.Crashes)),
+		ctrlLeft: make([]int, len(p.CtrlDrops)),
 	}
+	for i, c := range p.CtrlDrops {
+		in.ctrlLeft[i] = c.Count
+	}
+	in.curStep.Store(-1)
+	return in
 }
 
 // Plan returns the schedule the injector was built with.
@@ -164,6 +195,14 @@ func (in *Injector) Validate(n int) error {
 		}
 		if c.AfterMessages <= 0 && c.AtSuperstep < 0 {
 			return fmt.Errorf("fault: crash for worker %d has no trigger", c.Worker)
+		}
+	}
+	for _, c := range in.plan.CtrlDrops {
+		if c.AtSuperstep < 0 {
+			return fmt.Errorf("fault: ctrl drop armed at negative superstep %d", c.AtSuperstep)
+		}
+		if c.Count <= 0 {
+			return fmt.Errorf("fault: ctrl drop at superstep %d with count %d", c.AtSuperstep, c.Count)
 		}
 	}
 	for _, r := range []struct {
@@ -191,6 +230,7 @@ func (in *Injector) Attach(tr *cluster.Transport) {
 // for superstep s. The engine's master calls it before dispatching the
 // superstep, so the victim is dead for the superstep's whole duration.
 func (in *Injector) BeginSuperstep(s int) {
+	in.curStep.Store(int64(s))
 	tr := in.tr.Load()
 	if tr == nil {
 		return
@@ -211,6 +251,23 @@ func (in *Injector) BeginSuperstep(s int) {
 // messages. Decisions are made in send order under a lock, so a fixed
 // message schedule replays the exact same drop/duplicate/delay pattern.
 func (in *Injector) OnSend(m cluster.Message) cluster.Fate {
+	if m.Kind == cluster.Control && len(in.plan.CtrlDrops) > 0 {
+		step := int(in.curStep.Load())
+		lost := false
+		in.mu.Lock()
+		for i, c := range in.plan.CtrlDrops {
+			if step >= c.AtSuperstep && in.ctrlLeft[i] > 0 {
+				in.ctrlLeft[i]--
+				lost = true
+				break
+			}
+		}
+		in.mu.Unlock()
+		if lost {
+			in.ctrlDrops.Add(1)
+			return cluster.Fate{DropDelivery: true}
+		}
+	}
 	if m.Kind != cluster.Data || !in.plan.chaotic() {
 		return cluster.Fate{}
 	}
@@ -275,16 +332,23 @@ func (in *Injector) Stats() Stats {
 		Drops:        in.drops.Load(),
 		Duplicates:   in.duplicates.Load(),
 		Delays:       in.delays.Load(),
+		CtrlDrops:    in.ctrlDrops.Load(),
 	}
 }
 
-// Exhausted reports whether every scheduled crash has fired, which chaos
-// tests use to assert the schedule actually executed.
+// Exhausted reports whether every scheduled crash has fired and every
+// scheduled control drop has been injected, which chaos tests use to assert
+// the schedule actually executed.
 func (in *Injector) Exhausted() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, f := range in.fired {
 		if !f {
+			return false
+		}
+	}
+	for _, left := range in.ctrlLeft {
+		if left > 0 {
 			return false
 		}
 	}

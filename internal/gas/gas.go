@@ -366,7 +366,9 @@ func (w *gworker[V, M]) fiberLoop() {
 func (w *gworker[V, M]) executeVertex(u graph.VertexID) {
 	r := w.r
 	if w.mgr != nil {
-		w.mgr.Acquire(chandy.PhilID(u))
+		if !w.mgr.Acquire(chandy.PhilID(u)) {
+			return // manager aborted; the GAS engine has no recovery path
+		}
 		defer w.mgr.Release(chandy.PhilID(u))
 	}
 	r.executions.Add(1)

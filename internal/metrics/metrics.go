@@ -97,8 +97,36 @@ const (
 	TokenIdleNs
 	// Checkpoints counts checkpoints written.
 	Checkpoints
-	// Rollbacks counts whole-cluster rollbacks.
+	// Rollbacks counts recoveries of either scope: whole-cluster rollbacks
+	// and confined (partial) recoveries both bump it, so it reconciles with
+	// Result.Rollbacks regardless of recovery mode.
 	Rollbacks
+	// ConfinedRecoveries counts the subset of Rollbacks handled by confined
+	// recovery (only crashed workers' partitions restored and recomputed).
+	ConfinedRecoveries
+	// PartitionsRestored counts partitions whose state was reloaded from a
+	// checkpoint during recovery. Full rollback restores every partition;
+	// confined recovery restores only the crashed workers' partitions — the
+	// gap between the two is confined recovery's savings, measured.
+	PartitionsRestored
+	// MessagesReplayed counts logged message entries re-delivered from
+	// healthy workers' message logs to recovering partitions during
+	// confined recovery.
+	MessagesReplayed
+	// ReplayBatchesSuppressed counts remote batches a recovering worker
+	// regenerated during confined BSP replay below the crash frontier and
+	// the engine withheld from the transport — the healthy destinations
+	// received the originals before the crash. Flushed but never sent,
+	// they reconcile the buffer ledger against the transport's.
+	ReplayBatchesSuppressed
+	// WatchdogStalls counts supersteps the liveness watchdog declared
+	// stalled (no progress within the configured deadline) and escalated
+	// to recovery.
+	WatchdogStalls
+	// CheckpointGensSkipped counts checkpoint generations skipped during
+	// restore because their checksum or decode failed — the corruption
+	// fallback chain's activity.
+	CheckpointGensSkipped
 	numCounters
 )
 
@@ -126,6 +154,12 @@ var counterNames = [numCounters]string{
 	"token_idle_ns",
 	"checkpoints",
 	"rollbacks",
+	"confined_recoveries",
+	"partitions_restored",
+	"messages_replayed",
+	"replay_batches_suppressed",
+	"watchdog_stalls",
+	"checkpoint_gens_skipped",
 }
 
 // Name returns the stable JSON key of a counter.
@@ -144,10 +178,10 @@ const (
 	// compute thread has joined. Includes lock waits and local delivery.
 	PhaseCompute Phase = iota
 	// PhaseLocalDelivery: time inside Compute spent writing local
-	// messages into the worker's own store. Staged-batch folds are timed
-	// in full; the eager per-message path is sampled 1-in-64 and scaled
-	// by 64 (engine.localTimingSampleShift), so this phase is an
-	// estimate — unlike the message counters, which are exact.
+	// messages into the worker's own store. Both delivery paths — the
+	// staged-batch folds and the eager per-message puts — are sampled
+	// 1-in-64 and scaled by 64 (engine.localTimingSampleShift), so this
+	// phase is an estimate — unlike the message counters, which are exact.
 	PhaseLocalDelivery
 	// PhaseRemoteFlush: the end-of-superstep buffer flush, plus (token
 	// techniques) the flush-with-ack delivery confirmation wait.

@@ -72,6 +72,9 @@ type Scenario struct {
 	CheckpointEvery int
 	// Fault is the injected fault schedule; nil for a clean run.
 	Fault *fault.Plan
+	// Recovery selects full or confined crash recovery; drawn only for
+	// plans that actually crash workers.
+	Recovery engine.RecoveryMode
 
 	// BreakProtocol runs the scenario with synchronization disabled while
 	// keeping the serializability oracle armed — the self-test mode that
@@ -87,9 +90,9 @@ func (sc Scenario) String() string {
 	if sc.Fault != nil {
 		f = sc.Fault.String()
 	}
-	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v ckpt=%d fault=%s broken=%v",
+	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v ckpt=%d fault=%s recovery=%v broken=%v",
 		sc.Seed, sc.Shape, sc.N, sc.Algorithm, sc.Workers, sc.PartsPerWorker,
-		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.CheckpointEvery, f, sc.BreakProtocol)
+		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.CheckpointEvery, f, sc.Recovery, sc.BreakProtocol)
 }
 
 // mix64 is the splitmix64 finalizer, the same mixer hash partitioning uses.
@@ -188,6 +191,14 @@ func Sample(seed uint64) Scenario {
 	} else {
 		sc.MaxSupersteps = 500
 	}
+
+	// Recovery mode is a late draw so it never perturbs the decoding of
+	// older seeds' scenarios. Confined recovery is interesting only when
+	// a crash can actually fire; the engine decides per-failure whether
+	// confinement applies or the case degrades to a full rollback.
+	if sc.Fault != nil && len(sc.Fault.Crashes) > 0 && r.Intn(2) == 0 {
+		sc.Recovery = engine.RecoverConfined
+	}
 	return sc
 }
 
@@ -251,6 +262,7 @@ func buildConfig(sc Scenario, ckptDir string) engine.Config {
 		MaxSupersteps:              sc.MaxSupersteps,
 		DisableSenderCombine:       sc.DisableSenderCombine,
 		DisableHaltedPartitionSkip: sc.DisableHaltedSkip,
+		Recovery:                   sc.Recovery,
 		TrackHistory:               sc.serializabilityPromised() && !sc.lossy(),
 		// An external registry, so checkMetrics can re-snapshot it after the
 		// run and verify Result.Metrics is a true immutable copy.
@@ -290,11 +302,15 @@ func RunScenario(sc Scenario, scratch string) error {
 	}
 	g := buildGraph(sc)
 	cfg := buildConfig(sc, ckptDir)
+	fullCfg, err := fullComparisonConfig(sc, scratch)
+	if err != nil {
+		return err
+	}
 	switch sc.Algorithm {
 	case "sssp":
-		return runSSSP(sc, g, cfg)
+		return runSSSP(sc, g, cfg, fullCfg)
 	case "wcc":
-		return runWCC(sc, g, cfg)
+		return runWCC(sc, g, cfg, fullCfg)
 	case "coloring", "recolor":
 		return runColoring(sc, g, cfg)
 	case "pagerank":
@@ -304,6 +320,34 @@ func RunScenario(sc Scenario, scratch string) error {
 	default:
 		return fmt.Errorf("torture: unknown algorithm %q", sc.Algorithm)
 	}
+}
+
+// fullComparisonConfig builds the control config for the confined-vs-full
+// oracle: the same scenario rerun with full rollbacks, a fresh injector,
+// and its own checkpoint directory. Only unique-fixpoint workloads compare
+// final values (sssp, wcc) — other algorithms return nil and rely on the
+// per-run oracles alone. Lossy plans diverge legitimately (the message
+// logs replay sends the chaos layer dropped on the original timeline), so
+// they are excluded too.
+func fullComparisonConfig(sc Scenario, scratch string) (*engine.Config, error) {
+	if sc.Recovery != engine.RecoverConfined || sc.lossy() || sc.BreakProtocol {
+		return nil, nil
+	}
+	if sc.Algorithm != "sssp" && sc.Algorithm != "wcc" {
+		return nil, nil
+	}
+	scFull := sc
+	scFull.Recovery = engine.RecoverFull
+	ckptDir := ""
+	if sc.CheckpointEvery > 0 {
+		d, err := os.MkdirTemp(scratch, "ckpt-full-")
+		if err != nil {
+			return nil, fmt.Errorf("scratch dir: %w", err)
+		}
+		ckptDir = d
+	}
+	cfg := buildConfig(scFull, ckptDir)
+	return &cfg, nil
 }
 
 // checkCommon applies the oracles shared by every workload: liveness,
@@ -428,9 +472,9 @@ func checkMetrics(cfg engine.Config, res engine.Result) []error {
 		if got, want := m.Get(metrics.RemoteEntriesDelivered), m.Get(metrics.RemoteEntriesFlushed); got != want {
 			errs = append(errs, fmt.Errorf("metrics: remote_entries_delivered = %d, remote_entries_flushed = %d", got, want))
 		}
-	} else if batches > res.Net.DataMessages+res.Net.DroppedMessages {
-		errs = append(errs, fmt.Errorf("metrics: remote_batches = %d > DataMessages+DroppedMessages = %d",
-			batches, res.Net.DataMessages+res.Net.DroppedMessages))
+	} else if suppressed := m.Get(metrics.ReplayBatchesSuppressed); batches > res.Net.DataMessages+res.Net.DroppedMessages+suppressed {
+		errs = append(errs, fmt.Errorf("metrics: remote_batches = %d > DataMessages+DroppedMessages+suppressed = %d",
+			batches, res.Net.DataMessages+res.Net.DroppedMessages+suppressed))
 	}
 	if flushed, buffered := m.Get(metrics.RemoteEntriesFlushed), m.Get(metrics.RemoteEntries); flushed > buffered {
 		errs = append(errs, fmt.Errorf("metrics: remote_entries_flushed = %d > remote_entries = %d", flushed, buffered))
@@ -448,6 +492,39 @@ func checkMetrics(cfg engine.Config, res engine.Result) []error {
 	}
 	if got, want := m.Hist(metrics.HistLockWait).Count, m.Get(metrics.LockAcquires); got != want {
 		errs = append(errs, fmt.Errorf("metrics: lock_wait hist count = %d, lock_acquires = %d", got, want))
+	}
+
+	// Recovery-phase ledgers: the counters and Result fields are written at
+	// the same sites, so they agree exactly; confined recoveries are a
+	// subset of all recoveries; and with no confined recovery the restore
+	// accounting is exactly "every rollback reloaded every partition" with
+	// nothing replayed from message logs.
+	if got, want := m.Get(metrics.ConfinedRecoveries), int64(res.ConfinedRecoveries); got != want {
+		errs = append(errs, fmt.Errorf("metrics: confined_recoveries = %d, Result.ConfinedRecoveries = %d", got, want))
+	}
+	if got, want := m.Get(metrics.WatchdogStalls), int64(res.WatchdogStalls); got != want {
+		errs = append(errs, fmt.Errorf("metrics: watchdog_stalls = %d, Result.WatchdogStalls = %d", got, want))
+	}
+	if res.ConfinedRecoveries > res.Rollbacks {
+		errs = append(errs, fmt.Errorf("metrics: %d confined recoveries exceed %d rollbacks", res.ConfinedRecoveries, res.Rollbacks))
+	}
+	ppw := cfg.PartitionsPerWorker
+	if ppw == 0 {
+		ppw = cfg.Workers
+	}
+	parts := int64(cfg.Workers * ppw)
+	restored := m.Get(metrics.PartitionsRestored)
+	if res.ConfinedRecoveries == 0 {
+		if replayed := m.Get(metrics.MessagesReplayed); replayed != 0 {
+			errs = append(errs, fmt.Errorf("metrics: messages_replayed = %d without a confined recovery", replayed))
+		}
+		if restored != int64(res.Rollbacks)*parts {
+			errs = append(errs, fmt.Errorf("metrics: partitions_restored = %d, want %d rollbacks x %d partitions",
+				restored, res.Rollbacks, parts))
+		}
+	} else if restored > int64(res.Rollbacks)*parts || restored < int64(res.Rollbacks) {
+		errs = append(errs, fmt.Errorf("metrics: partitions_restored = %d outside [%d, %d] for %d recoveries",
+			restored, res.Rollbacks, int64(res.Rollbacks)*parts, res.Rollbacks))
 	}
 
 	// The run is over and the registry is ours alone, so re-snapshotting
@@ -497,7 +574,7 @@ func joinFailures(sc Scenario, errs []error) error {
 	return fmt.Errorf("scenario %v:\n%w", sc, errors.Join(nonNil...))
 }
 
-func runSSSP(sc Scenario, g *graph.Graph, cfg engine.Config) error {
+func runSSSP(sc Scenario, g *graph.Graph, cfg engine.Config, fullCfg *engine.Config) error {
 	dist, res, rec, err := engine.Run(g, algorithms.SSSP(0), cfg)
 	if err != nil {
 		return fmt.Errorf("scenario %v: engine error: %w", sc, err)
@@ -512,10 +589,16 @@ func runSSSP(sc Scenario, g *graph.Graph, cfg engine.Config) error {
 			}
 		}
 	}
+	if fullCfg != nil && res.Converged {
+		fullDist, fullRes, _, err := engine.Run(g, algorithms.SSSP(0), *fullCfg)
+		errs = append(errs, compareRecoveries(res, fullRes, err, func(v int) bool {
+			return dist[v] != fullDist[v]
+		}, len(dist))...)
+	}
 	return joinFailures(sc, errs)
 }
 
-func runWCC(sc Scenario, g *graph.Graph, cfg engine.Config) error {
+func runWCC(sc Scenario, g *graph.Graph, cfg engine.Config, fullCfg *engine.Config) error {
 	labels, res, rec, err := engine.Run(g, algorithms.WCC(), cfg)
 	if err != nil {
 		return fmt.Errorf("scenario %v: engine error: %w", sc, err)
@@ -530,7 +613,41 @@ func runWCC(sc Scenario, g *graph.Graph, cfg engine.Config) error {
 			}
 		}
 	}
+	if fullCfg != nil && res.Converged {
+		fullLabels, fullRes, _, err := engine.Run(g, algorithms.WCC(), *fullCfg)
+		errs = append(errs, compareRecoveries(res, fullRes, err, func(v int) bool {
+			return labels[v] != fullLabels[v]
+		}, len(labels))...)
+	}
 	return joinFailures(sc, errs)
+}
+
+// compareRecoveries is the confined-vs-full oracle: the same crash plan
+// recovered confined (primary run) and with full rollbacks (control run)
+// must both converge to identical values, and a confined recovery that
+// fired must have recomputed no more partition-supersteps than the
+// cluster-wide control did.
+func compareRecoveries(confined, full engine.Result, fullErr error, differs func(v int) bool, n int) []error {
+	var errs []error
+	if fullErr != nil {
+		return append(errs, fmt.Errorf("confined-vs-full: control run errored: %w", fullErr))
+	}
+	if !full.Converged {
+		return append(errs, errors.New("confined-vs-full: control run with full rollbacks did not converge"))
+	}
+	for v := 0; v < n; v++ {
+		if differs(v) {
+			errs = append(errs, fmt.Errorf("confined-vs-full: value[%d] differs between recovery modes", v))
+			break
+		}
+	}
+	if confined.ConfinedRecoveries > 0 && full.Rollbacks > 0 &&
+		confined.ConfinedRecoveries == confined.Rollbacks && full.Rollbacks == confined.Rollbacks &&
+		confined.RecomputedPartitionSupersteps > full.RecomputedPartitionSupersteps {
+		errs = append(errs, fmt.Errorf("confined-vs-full: confined recomputed %d partition-supersteps, full only %d",
+			confined.RecomputedPartitionSupersteps, full.RecomputedPartitionSupersteps))
+	}
+	return errs
 }
 
 func runColoring(sc Scenario, g *graph.Graph, cfg engine.Config) error {

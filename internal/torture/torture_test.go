@@ -21,6 +21,8 @@ var (
 		"number of sampled cases (default 50 with -short, 120 otherwise)")
 	flagRoot = flag.Uint64("torture.root", 0xdecaf,
 		"root seed the sweep derives its case seeds from")
+	flagFaulty = flag.Bool("torture.faulty", false,
+		"fault-plan sweep: count only cases whose plan schedules a crash toward -torture.n (other cases are skipped, keeping seeds replayable)")
 )
 
 // waitGoroutines polls until the goroutine count drops back to the
@@ -75,9 +77,17 @@ func TestTorture(t *testing.T) {
 		}
 	}
 	baseline := runtime.NumGoroutine()
-	for i := 0; i < n; i++ {
+	ran := 0
+	for i := 0; ran < n; i++ {
 		seed := CaseSeed(*flagRoot, i)
 		sc := Sample(seed)
+		if *flagFaulty && (sc.Fault == nil || len(sc.Fault.Crashes) == 0) {
+			// The fault-plan sweep spends its case budget only on crash
+			// scenarios; skipping (rather than resampling) keeps every
+			// executed seed replayable with a plain -torture.seed.
+			continue
+		}
+		ran++
 		scratch := t.TempDir()
 		if err := RunScenario(sc, scratch); err != nil {
 			failCase(t, sc, err, scratch)

@@ -82,6 +82,21 @@ type (
 	// CrashSpec schedules one worker crash within a FaultPlan, triggered
 	// at a superstep or after a number of delivered data messages.
 	CrashSpec = fault.Crash
+
+	// RecoveryMode selects how a crash detected at a barrier is repaired:
+	// whole-cluster rollback or confined (crashed-partitions-only) replay.
+	RecoveryMode = engine.RecoveryMode
+)
+
+// Crash recovery modes for Options.Recovery.
+const (
+	// RecoverFull rolls the whole cluster back to the latest checkpoint
+	// (Giraph-style, §6.4) and recomputes everywhere.
+	RecoverFull = engine.RecoverFull
+	// RecoverConfined restores only the crashed workers' partitions and
+	// replays them against the healthy workers' message logs; healthy
+	// partitions keep their in-memory state.
+	RecoverConfined = engine.RecoverConfined
 )
 
 // Message-store semantics for Program.Semantics.
@@ -200,6 +215,17 @@ type Options struct {
 	Fault *FaultPlan
 	// MaxRollbacks bounds in-run recovery attempts (default 16).
 	MaxRollbacks int
+	// Recovery selects full (default) or confined crash recovery.
+	// Confined recovery logs outgoing remote messages per superstep and,
+	// on a crash, restores and replays only the crashed workers'
+	// partitions; it falls back to a full rollback whenever the logs or
+	// checkpoint chain cannot support a confined replay.
+	Recovery RecoveryMode
+	// WatchdogTimeout, when > 0, arms the liveness watchdog: a superstep
+	// that fails to reach its barrier within the deadline is declared
+	// stalled, the unfinished workers are treated as crashed, and the run
+	// recovers as from a crash.
+	WatchdogTimeout time.Duration
 	// DetailedStats records a per-superstep breakdown (wall time, message
 	// counts, phase timers) in Result.SuperstepStats. Costs one metrics
 	// snapshot per superstep; Result.Metrics is populated regardless.
@@ -252,6 +278,8 @@ func (o Options) engineConfig() (engine.Config, error) {
 		CheckpointDir:       o.CheckpointDir,
 		RestoreFrom:         o.RestoreFrom,
 		MaxRollbacks:        o.MaxRollbacks,
+		Recovery:            o.Recovery,
+		WatchdogTimeout:     o.WatchdogTimeout,
 		DetailedStats:       o.DetailedStats,
 	}
 	if o.Fault != nil {
