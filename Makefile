@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race race chaos torture torture-pinned fuzz bench-json bench-smoke bench-micro bench-diff ci clean
+.PHONY: build vet test test-short test-race race tcp fuzz-wire chaos torture torture-pinned fuzz bench-json bench-smoke bench-micro bench-diff ci clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,19 @@ torture:
 torture-pinned:
 	$(GO) test ./internal/torture/ -run 'TestTorture$$' -count=1 \
 		-torture.n=200 -torture.root=0xdecaf -timeout=15m
+
+# Wire-transport gate: the TCP backend conformance suite, the
+# cross-transport equivalence matrix, the goroutine-level and real
+# multi-process dist conformance suites, all under the race detector.
+tcp:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/wire/ ./internal/dist/
+	$(GO) test -race -count=1 ./internal/engine/ -run TestTransportEquivalenceMatrix -v
+	$(GO) test -race -count=1 ./cmd/graphrun/ -run TestGraphrunMultiProcess -v
+
+# 30-second fuzz smoke over the frame decoder: truncated/corrupt/oversized
+# frames must error, never panic or over-allocate.
+fuzz-wire:
+	$(GO) test ./internal/wire/ -fuzz FuzzFrameDecode -fuzztime=30s -run '^$$'
 
 # Short fuzz pass over the graph loader/symmetrize targets.
 fuzz:

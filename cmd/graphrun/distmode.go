@@ -1,0 +1,153 @@
+package main
+
+// Multi-process mode: `graphrun -listen` runs the coordinator,
+// `graphrun -join` runs one worker process. A real run over TCP loopback:
+//
+//	graphrun -listen 127.0.0.1:7400 -workers-remote 2 \
+//	    -alg sssp -graph g.bin -o dist.txt &
+//	graphrun -join 127.0.0.1:7400 &
+//	graphrun -join 127.0.0.1:7400
+//
+// The coordinator prints its bound address on startup ("coordinator:
+// listening on ..."), so -listen 127.0.0.1:0 works for scripting. Every
+// process must see the same -graph file (or the same -family/-n/-seed),
+// from which it deterministically rebuilds the graph and partition map.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"serialgraph/internal/dist"
+	"serialgraph/internal/graph"
+
+	"serialgraph/internal/algorithms"
+)
+
+// runWorkerProcess joins the coordinator at addr and runs to completion.
+func runWorkerProcess(addr string) error {
+	fmt.Printf("worker: joining coordinator at %s\n", addr)
+	start := time.Now()
+	if err := dist.Work(addr); err != nil {
+		return err
+	}
+	fmt.Printf("worker: done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+type coordinatorConfig struct {
+	listen        string
+	alg           string
+	graphPath     string
+	family        string
+	familyN       int
+	workers       int
+	ppw           int
+	maxSupersteps int
+	seed          uint64
+	source        int
+	eps           float64
+	out           string
+}
+
+// runCoordinatorProcess drives one distributed run and prints the same
+// summary a single-process run would.
+func runCoordinatorProcess(cfg coordinatorConfig) error {
+	if cfg.workers < 1 {
+		return fmt.Errorf("coordinator mode needs -workers-remote >= 1")
+	}
+	if cfg.graphPath == "" && cfg.family == "" {
+		return fmt.Errorf("coordinator mode needs -graph or -family/-n (workers rebuild the graph themselves)")
+	}
+	if cfg.ppw == 0 {
+		cfg.ppw = cfg.workers
+	}
+	if cfg.maxSupersteps == 0 {
+		cfg.maxSupersteps = 100000
+	}
+	job := dist.Job{
+		Alg:            cfg.alg,
+		GraphPath:      cfg.graphPath,
+		Family:         cfg.family,
+		N:              int32(cfg.familyN),
+		Workers:        int32(cfg.workers),
+		PartsPerWorker: int32(cfg.ppw),
+		MaxSupersteps:  int32(cfg.maxSupersteps),
+		Seed:           cfg.seed,
+		Source:         int32(cfg.source),
+		Eps:            cfg.eps,
+	}
+	switch cfg.alg {
+	case "coloring", "wcc":
+		// Same symmetrization the single-process path applies.
+		job.Undirected = true
+	}
+
+	g, err := dist.BuildGraph(job)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("coordinator: listening on %s for %d workers\n", ln.Addr(), cfg.workers)
+	fmt.Printf("graph: %d vertices, %d edges; alg %s, %d workers x %d partitions\n",
+		g.NumVertices(), g.NumEdges(), cfg.alg, cfg.workers, cfg.ppw)
+
+	start := time.Now()
+	var res dist.Result
+	var values []float64
+	var intValues []int32
+	switch cfg.alg {
+	case "sssp":
+		values, res, err = dist.Coordinate(ln, job, algorithms.SSSP(graph.VertexID(cfg.source)), g.NumVertices())
+	case "pagerank":
+		values, res, err = dist.Coordinate(ln, job, algorithms.PageRank(cfg.eps), g.NumVertices())
+	case "pagerank-agg":
+		values, res, err = dist.Coordinate(ln, job, algorithms.PageRankAggregated(cfg.eps), g.NumVertices())
+	case "coloring":
+		intValues, res, err = dist.Coordinate(ln, job, algorithms.Coloring(), g.NumVertices())
+	case "wcc":
+		intValues, res, err = dist.Coordinate(ln, job, algorithms.WCC(), g.NumVertices())
+	default:
+		return fmt.Errorf("algorithm %q is not available in multi-process mode (want sssp, pagerank, pagerank-agg, coloring, or wcc)", cfg.alg)
+	}
+	if err != nil {
+		return err
+	}
+
+	if cfg.alg == "coloring" {
+		if cerr := algorithms.ValidateColoring(g, intValues); cerr != nil {
+			fmt.Printf("coloring INVALID: %v\n", cerr)
+		} else {
+			fmt.Printf("coloring proper, %d colors\n", countDistinct(intValues))
+		}
+	}
+	fmt.Printf("converged=%v supersteps=%d executions=%d time=%v\n",
+		res.Converged, res.Supersteps, res.Executions, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("network: %d data batches / %d KB data over TCP; wire bytes=%d\n",
+		res.DataBatches, res.DataBytes/1024, res.WireBytes)
+
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if intValues != nil {
+			for _, v := range intValues {
+				fmt.Fprintln(f, v)
+			}
+		} else {
+			for _, v := range values {
+				fmt.Fprintln(f, v)
+			}
+		}
+		fmt.Printf("wrote values to %s\n", cfg.out)
+	}
+	return nil
+}

@@ -46,6 +46,14 @@ func main() {
 	eps := flag.Float64("eps", 0.01, "PageRank convergence threshold")
 	source := flag.Int("source", 0, "SSSP source vertex")
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated network latency")
+	transportName := flag.String("transport", "inproc", "wire backend for single-process runs: inproc | tcp")
+	listenAddr := flag.String("listen", "", "coordinator mode: accept worker processes on this address (e.g. 127.0.0.1:0)")
+	joinAddr := flag.String("join", "", "worker mode: join a coordinator at this address, run, exit")
+	workersRemote := flag.Int("workers-remote", 0, "coordinator mode: worker processes to wait for (with -listen)")
+	family := flag.String("family", "", "multi-process runs: generate this graph family instead of loading -graph: powerlaw | rmat | erdos | ring | grid | complete")
+	familyN := flag.Int("n", 0, "generated family size (with -family)")
+	seed := flag.Uint64("seed", 1, "partitioning (and -family generation) seed")
+	maxSupersteps := flag.Int("max-supersteps", 0, "bound non-converging runs (0 = library default)")
 	check := flag.Bool("check", false, "verify serializability (records history; slower)")
 	out := flag.String("o", "", "write final vertex values to this file (text, one per line)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every k-th superstep (0 = off)")
@@ -66,6 +74,28 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
+
+	// Multi-process modes short-circuit the single-process path entirely:
+	// a worker joins, computes, and exits; a coordinator drives the run
+	// and reports like a normal graphrun invocation.
+	if *joinAddr != "" {
+		if err := runWorkerProcess(*joinAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *listenAddr != "" {
+		cfg := coordinatorConfig{
+			listen: *listenAddr, alg: *alg, graphPath: *graphPath,
+			family: *family, familyN: *familyN, workers: *workersRemote,
+			ppw: *ppw, maxSupersteps: *maxSupersteps, seed: *seed,
+			source: *source, eps: *eps, out: *out,
+		}
+		if err := runCoordinatorProcess(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -129,9 +159,20 @@ func main() {
 		log.Fatalf("unknown recovery mode %q (want full or confined)", *recoveryName)
 	}
 
+	var transport serialgraph.Transport
+	switch *transportName {
+	case "inproc":
+		transport = serialgraph.InProc
+	case "tcp":
+		transport = serialgraph.TCPLoopback
+	default:
+		log.Fatalf("unknown transport %q (want inproc or tcp)", *transportName)
+	}
+
 	opt := serialgraph.Options{
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
-		Technique: technique, NetworkLatency: *latency, Seed: 1,
+		Technique: technique, Transport: transport, NetworkLatency: *latency,
+		Seed: *seed, MaxSupersteps: *maxSupersteps,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
 		Recovery: recovery, WatchdogTimeout: *watchdogTimeout,
 		DetailedStats: *traceOut != "",
@@ -262,6 +303,10 @@ func main() {
 	fmt.Printf("network: %d data batches / %d KB data, %d control msgs; forks=%d tokens=%d\n",
 		res.Net.DataMessages, res.Net.DataBytes/1024, res.Net.ControlMessages,
 		res.ForkSends, res.TokenSends)
+	if res.Net.WireBytesSent > 0 {
+		fmt.Printf("wire: %d bytes sent / %d bytes received over TCP\n",
+			res.Net.WireBytesSent, res.Net.WireBytesReceived)
+	}
 	if faulty || res.WatchdogStalls > 0 {
 		fmt.Printf("recovery: rollbacks=%d (confined=%d) recomputed-supersteps=%d recomputed-partition-supersteps=%d wasted-msgs=%d dropped=%d watchdog-stalls=%d\n",
 			res.Rollbacks, res.ConfinedRecoveries, res.RecomputedSupersteps,

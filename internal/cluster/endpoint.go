@@ -14,8 +14,14 @@ const (
 	EntryHeaderBytes = 8 // per vertex-message destination ID
 )
 
-type flushMarker struct{ Seq uint64 }
-type ackMsg struct{ Seq uint64 }
+// FlushMarker is the control payload of the flush-with-ack protocol: a
+// worker that wants proof its earlier data messages have been applied
+// sends one and waits for the matching AckMsg. Exported so wire codecs
+// can encode it; engines interact with it only through FlushWait.
+type FlushMarker struct{ Seq uint64 }
+
+// AckMsg acknowledges the FlushMarker with the same sequence number.
+type AckMsg struct{ Seq uint64 }
 
 // Endpoint is a worker's connection to the transport. It dispatches
 // incoming traffic to data/control callbacks and implements the
@@ -23,7 +29,7 @@ type ackMsg struct{ Seq uint64 }
 // FIFO, an acked flush marker guarantees every earlier data message to that
 // worker has been delivered and applied.
 type Endpoint struct {
-	t  *Transport
+	t  Transport
 	id WorkerID
 
 	onData func(from WorkerID, payload any)
@@ -39,7 +45,7 @@ type Endpoint struct {
 // NewEndpoint registers worker id on t. onData receives Data payloads,
 // onCtrl receives Control payloads; both run on transport delivery
 // goroutines and must not block indefinitely.
-func NewEndpoint(t *Transport, id WorkerID, onData, onCtrl func(from WorkerID, payload any)) *Endpoint {
+func NewEndpoint(t Transport, id WorkerID, onData, onCtrl func(from WorkerID, payload any)) *Endpoint {
 	e := &Endpoint{t: t, id: id, onData: onData, onCtrl: onCtrl, acks: make(map[uint64]chan struct{}), abortCh: make(chan struct{})}
 	t.RegisterHandler(id, e.handle)
 	return e
@@ -49,13 +55,13 @@ func NewEndpoint(t *Transport, id WorkerID, onData, onCtrl func(from WorkerID, p
 func (e *Endpoint) ID() WorkerID { return e.id }
 
 // Transport returns the underlying transport.
-func (e *Endpoint) Transport() *Transport { return e.t }
+func (e *Endpoint) Transport() Transport { return e.t }
 
 func (e *Endpoint) handle(m Message) {
 	switch p := m.Payload.(type) {
-	case flushMarker:
-		e.t.Send(Message{From: e.id, To: m.From, Kind: Ack, Bytes: AckBytes, Payload: ackMsg{p.Seq}})
-	case ackMsg:
+	case FlushMarker:
+		e.t.Send(Message{From: e.id, To: m.From, Kind: Ack, Bytes: AckBytes, Payload: AckMsg{p.Seq}})
+	case AckMsg:
 		e.mu.Lock()
 		ch := e.acks[p.Seq]
 		delete(e.acks, p.Seq)
@@ -108,7 +114,7 @@ func (e *Endpoint) FlushWait(targets []WorkerID) int {
 		ch := make(chan struct{})
 		e.acks[seq] = ch
 		e.mu.Unlock()
-		e.t.Send(Message{From: e.id, To: to, Kind: Control, Bytes: FlushMarkerBytes, Payload: flushMarker{seq}})
+		e.t.Send(Message{From: e.id, To: to, Kind: Control, Bytes: FlushMarkerBytes, Payload: FlushMarker{seq}})
 		chans = append(chans, ch)
 	}
 	for _, ch := range chans {

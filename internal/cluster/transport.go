@@ -1,9 +1,16 @@
-// Package cluster simulates the network of a shared-nothing cluster inside
-// a single process. Workers are goroutines; all inter-worker traffic flows
-// through a Transport that imposes per-message propagation latency and
-// per-lane serialization (bandwidth) delay, preserves FIFO order per
-// (sender, receiver) pair — as TCP does between two Giraph workers — and
-// counts every message and byte.
+// Package cluster connects the workers of a shared-nothing cluster. Two
+// backends implement the same Transport interface:
+//
+//   - Mem (the default, returned by New) simulates the network inside a
+//     single process: workers are goroutines, all inter-worker traffic
+//     flows through per-(sender, receiver) FIFO lanes that impose
+//     propagation latency and serialization (bandwidth) delay.
+//   - TCP (returned by NewTCPLoopback) moves the same traffic over real
+//     TCP sockets with a length-prefixed binary frame codec, per-peer
+//     persistent connections, write coalescing, and read pumps.
+//
+// Both preserve FIFO order per (sender, receiver) pair — as TCP does
+// between two Giraph workers — and count every message and byte.
 //
 // The paper's evaluation is entirely about the communication/parallelism
 // trade-off of synchronization techniques, so the transport makes both
@@ -117,6 +124,14 @@ type Stats struct {
 	// (its receiver died in flight) was already counted when sent and
 	// additionally counts here.
 	DroppedMessages atomic.Int64
+	// WireBytesSent/WireBytesReceived count true encoded frame bytes on
+	// the wire, including frame headers. The Mem backend leaves them zero
+	// (its byte ledger is the simulated per-kind counters above); the TCP
+	// backend fills them in alongside the simulated counters, so the
+	// conservation contracts over DataBytes/ControlBytes hold unchanged on
+	// either backend.
+	WireBytesSent     atomic.Int64
+	WireBytesReceived atomic.Int64
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -125,6 +140,8 @@ type Snapshot struct {
 	ControlMessages, ControlBytes int64
 	AckMessages                   int64
 	DroppedMessages               int64
+	WireBytesSent                 int64
+	WireBytesReceived             int64
 }
 
 // Load copies the counters.
@@ -132,8 +149,10 @@ func (s *Stats) Load() Snapshot {
 	return Snapshot{
 		DataMessages: s.DataMessages.Load(), DataBytes: s.DataBytes.Load(),
 		ControlMessages: s.ControlMessages.Load(), ControlBytes: s.ControlBytes.Load(),
-		AckMessages:     s.AckMessages.Load(),
-		DroppedMessages: s.DroppedMessages.Load(),
+		AckMessages:       s.AckMessages.Load(),
+		DroppedMessages:   s.DroppedMessages.Load(),
+		WireBytesSent:     s.WireBytesSent.Load(),
+		WireBytesReceived: s.WireBytesReceived.Load(),
 	}
 }
 
@@ -142,8 +161,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
 		DataMessages: s.DataMessages - o.DataMessages, DataBytes: s.DataBytes - o.DataBytes,
 		ControlMessages: s.ControlMessages - o.ControlMessages, ControlBytes: s.ControlBytes - o.ControlBytes,
-		AckMessages:     s.AckMessages - o.AckMessages,
-		DroppedMessages: s.DroppedMessages - o.DroppedMessages,
+		AckMessages:       s.AckMessages - o.AckMessages,
+		DroppedMessages:   s.DroppedMessages - o.DroppedMessages,
+		WireBytesSent:     s.WireBytesSent - o.WireBytesSent,
+		WireBytesReceived: s.WireBytesReceived - o.WireBytesReceived,
 	}
 }
 
@@ -165,8 +186,58 @@ type timed struct {
 	wireLost  bool // discard at delivery time (Fate.DropDelivery)
 }
 
-// Transport connects n workers.
-type Transport struct {
+// Transport is the wire connecting n workers. The engine, message stores,
+// Chandy–Misra managers, and fault injector are written against this
+// interface so the simulated in-process backend (Mem) and the real TCP
+// backend (TCP) are interchangeable.
+//
+// Semantics every backend must provide:
+//
+//   - FIFO delivery per (sender, receiver) pair; handlers for one pair run
+//     sequentially in send order, different pairs concurrently.
+//   - Send never blocks and never delivers inline on the caller.
+//   - A message is "in flight" from the moment Send accepts it until its
+//     handler returns (or it is counted dropped); WaitIdle blocks until no
+//     messages are in flight.
+//   - Kill/Revive dead-worker semantics and Stats drop accounting exactly
+//     as documented on Mem's methods.
+type Transport interface {
+	// NumWorkers returns the cluster size.
+	NumWorkers() int
+	// Latency returns the configured latency model. The Mem backend
+	// enforces it; the TCP backend reports it but lets the real wire set
+	// the timing.
+	Latency() LatencyModel
+	// Stats returns the live traffic counters.
+	Stats() *Stats
+	// RegisterHandler installs the delivery callback for worker w. It must
+	// be called for every worker before any Send, and panics if a worker
+	// is registered twice.
+	RegisterHandler(w WorkerID, h Handler)
+	// SetFaultHook installs a fault-injection hook; it must be called
+	// before any traffic flows.
+	SetFaultHook(h FaultHook)
+	// Kill marks worker w as crashed; Revive clears the flag.
+	Kill(w WorkerID)
+	Revive(w WorkerID)
+	// Alive reports whether worker w is not currently killed.
+	Alive(w WorkerID) bool
+	// DeadWorkers returns the IDs of all currently killed workers.
+	DeadWorkers() []WorkerID
+	// Send enqueues m for delivery. It never blocks.
+	Send(m Message)
+	// WaitIdle blocks until no messages are in flight.
+	WaitIdle()
+	// InFlight returns the number of undelivered messages.
+	InFlight() int
+	// Close shuts the backend down, draining in-flight traffic. It is
+	// idempotent; sends after Close are dropped and counted.
+	Close()
+}
+
+// Mem is the in-process simulated backend: per-pair FIFO lanes with
+// modeled propagation latency and serialization delay.
+type Mem struct {
 	n        int
 	latency  LatencyModel
 	handlers []Handler
@@ -183,13 +254,16 @@ type Transport struct {
 	closed atomic.Bool
 }
 
-// New creates a transport for n workers with the given latency model.
-// RegisterHandler must be called for every worker before any Send.
-func New(n int, latency LatencyModel) *Transport {
+var _ Transport = (*Mem)(nil)
+
+// New creates an in-process simulated transport for n workers with the
+// given latency model. RegisterHandler must be called for every worker
+// before any Send.
+func New(n int, latency LatencyModel) *Mem {
 	if n < 1 {
 		panic("cluster: need at least one worker")
 	}
-	t := &Transport{
+	t := &Mem{
 		n:        n,
 		latency:  latency,
 		handlers: make([]Handler, n),
@@ -208,16 +282,16 @@ func New(n int, latency LatencyModel) *Transport {
 }
 
 // NumWorkers returns the cluster size.
-func (t *Transport) NumWorkers() int { return t.n }
+func (t *Mem) NumWorkers() int { return t.n }
 
 // Latency returns the latency model in use.
-func (t *Transport) Latency() LatencyModel { return t.latency }
+func (t *Mem) Latency() LatencyModel { return t.latency }
 
 // Stats returns the traffic counters.
-func (t *Transport) Stats() *Stats { return &t.stats }
+func (t *Mem) Stats() *Stats { return &t.stats }
 
 // RegisterHandler installs the delivery callback for worker w.
-func (t *Transport) RegisterHandler(w WorkerID, h Handler) {
+func (t *Mem) RegisterHandler(w WorkerID, h Handler) {
 	if t.handlers[w] != nil {
 		panic(fmt.Sprintf("cluster: handler for worker %d registered twice", w))
 	}
@@ -227,7 +301,7 @@ func (t *Transport) RegisterHandler(w WorkerID, h Handler) {
 // SetFaultHook installs a fault-injection hook. It must be called before
 // any traffic flows (the engine attaches it right after New, before
 // workers start).
-func (t *Transport) SetFaultHook(h FaultHook) { t.hook = h }
+func (t *Mem) SetFaultHook(h FaultHook) { t.hook = h }
 
 // Kill marks worker w as crashed. From then on the worker's data traffic
 // is lost — data messages sent by or addressed to it are dropped (and
@@ -238,17 +312,17 @@ func (t *Transport) SetFaultHook(h FaultHook) { t.hook = h }
 // where the master detects the death and rolls the cluster back —
 // discarding all of the dead worker's superstep state anyway, exactly as
 // a real whole-cluster rollback would.
-func (t *Transport) Kill(w WorkerID) { t.dead[w].Store(true) }
+func (t *Mem) Kill(w WorkerID) { t.dead[w].Store(true) }
 
 // Revive clears worker w's crash flag, modeling the failed machine's
 // replacement rejoining the cluster before a rollback.
-func (t *Transport) Revive(w WorkerID) { t.dead[w].Store(false) }
+func (t *Mem) Revive(w WorkerID) { t.dead[w].Store(false) }
 
 // Alive reports whether worker w is not currently killed.
-func (t *Transport) Alive(w WorkerID) bool { return !t.dead[w].Load() }
+func (t *Mem) Alive(w WorkerID) bool { return !t.dead[w].Load() }
 
 // DeadWorkers returns the IDs of all currently killed workers.
-func (t *Transport) DeadWorkers() []WorkerID {
+func (t *Mem) DeadWorkers() []WorkerID {
 	var dead []WorkerID
 	for w := range t.dead {
 		if t.dead[w].Load() {
@@ -263,7 +337,7 @@ func (t *Transport) DeadWorkers() []WorkerID {
 // transport for truly local traffic). Sends after Close, data sends
 // touching a killed worker, and sends dropped by the fault hook are
 // discarded and counted in Stats.DroppedMessages.
-func (t *Transport) Send(m Message) {
+func (t *Mem) Send(m Message) {
 	if m.From < 0 || int(m.From) >= t.n || m.To < 0 || int(m.To) >= t.n {
 		panic(fmt.Sprintf("cluster: bad endpoints %d->%d", m.From, m.To))
 	}
@@ -294,7 +368,7 @@ func (t *Transport) Send(m Message) {
 // already been closed — the check runs under the lane lock, so a Send
 // racing Close can never strand an in-flight count after the delivery
 // goroutines exit.
-func (t *Transport) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
+func (t *Mem) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
 	l := t.lanes[int(m.From)*t.n+int(m.To)]
 	now := time.Now()
 	l.mu.Lock()
@@ -329,7 +403,7 @@ func (t *Transport) enqueue(m Message, extraDelay time.Duration, wireLost bool) 
 
 // deliver is the per-lane consumer: it sleeps until each message's delivery
 // time and invokes the receiver's handler, preserving FIFO order.
-func (t *Transport) deliver(l *lane) {
+func (t *Mem) deliver(l *lane) {
 	defer t.wg.Done()
 	for {
 		l.mu.Lock()
@@ -373,7 +447,7 @@ func (t *Transport) deliver(l *lane) {
 // inject new messages; callers are responsible for ensuring senders are
 // quiescent (e.g. all workers at a barrier) when using this for
 // termination decisions.
-func (t *Transport) WaitIdle() {
+func (t *Mem) WaitIdle() {
 	t.inflightMu.Lock()
 	for t.inflight > 0 {
 		t.idleCond.Wait()
@@ -382,7 +456,7 @@ func (t *Transport) WaitIdle() {
 }
 
 // InFlight returns the number of undelivered messages.
-func (t *Transport) InFlight() int {
+func (t *Mem) InFlight() int {
 	t.inflightMu.Lock()
 	defer t.inflightMu.Unlock()
 	return t.inflight
@@ -390,7 +464,7 @@ func (t *Transport) InFlight() int {
 
 // Close drains all lanes and stops their goroutines. Sends after Close are
 // dropped.
-func (t *Transport) Close() {
+func (t *Mem) Close() {
 	if !t.closed.CompareAndSwap(false, true) {
 		return
 	}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+
+	"serialgraph/internal/cluster"
+	"serialgraph/internal/model"
+	"serialgraph/internal/wire"
+)
+
+// Coordinate runs the master side of a distributed job: accept the
+// worker processes, hand each its job spec, drive the superstep loop,
+// and collect the final vertex values. It is the engine's master loop
+// with every shared-memory touch replaced by a control frame, in the
+// same order — merge aggregators, count halt votes and pending
+// messages, check convergence, then MasterHalt on the merged window —
+// so the halt decision is bit-for-bit the one an in-process run makes.
+//
+// ln must already be listening; job.Workers processes must eventually
+// dial it. Worker IDs are assigned in accept order, which is
+// deterministic in effect: the BSP results do not depend on which
+// process got which ID (same partition map, same merge order by ID).
+func Coordinate[V, M any](ln net.Listener, job Job, prog model.Program[V, M], numVertices int) ([]V, Result, error) {
+	var res Result
+	nw := int(job.Workers)
+	if nw < 1 {
+		return nil, res, fmt.Errorf("dist: job needs at least 1 worker, got %d", nw)
+	}
+
+	// Admission: one Hello per worker process, carrying its data-plane
+	// address. Accept order assigns IDs.
+	conns := make([]*frameConn, nw)
+	addrs := make([]string, nw)
+	defer func() {
+		for _, fc := range conns {
+			if fc != nil {
+				fc.close()
+			}
+		}
+	}()
+	for i := 0; i < nw; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, res, fmt.Errorf("dist: accept worker %d: %w", i, err)
+		}
+		fc := newFrameConn(c)
+		hf, err := fc.expect(cluster.FrameHello)
+		if err != nil {
+			return nil, res, fmt.Errorf("dist: worker %d hello: %w", i, err)
+		}
+		h, err := wire.DecodeHello(hf.Payload)
+		if err != nil {
+			return nil, res, fmt.Errorf("dist: worker %d hello: %w", i, err)
+		}
+		if h.Version != cluster.ProtocolVersion {
+			return nil, res, fmt.Errorf("dist: worker %d speaks protocol %d, want %d", i, h.Version, cluster.ProtocolVersion)
+		}
+		conns[i] = fc
+		addrs[i] = h.Addr
+	}
+
+	// Job dispatch: identical spec to everyone, differing only in You.
+	for i, fc := range conns {
+		j := job
+		j.You = int32(i)
+		j.Peers = addrs
+		if err := fc.writeFlush(&cluster.Frame{Type: cluster.FrameJob, To: cluster.WorkerID(i),
+			Payload: wire.AppendJob(nil, j)}); err != nil {
+			return nil, res, fmt.Errorf("dist: send job to %d: %w", i, err)
+		}
+	}
+
+	// Superstep loop. aggPrev carries the previous superstep's merged
+	// aggregators into the next StepStart; windowAgg mirrors the
+	// engine's MasterHalt window (width 1 under BSP/SyncNone).
+	aggPrev := map[string]float64{}
+	windowAgg := map[string]float64{}
+	// Workers report cumulative socket bytes each superstep; the latest
+	// report per worker, summed at the end, is the run total.
+	wireTotals := make([]int64, nw)
+	maxS := int(job.MaxSupersteps)
+	for s := 0; s < maxS; s++ {
+		keys, vals := sortedAggs(aggPrev)
+		start := wire.AppendStepStart(nil, wire.StepStart{Superstep: int32(s), AggKeys: keys, AggVals: vals})
+		for i, fc := range conns {
+			if err := fc.writeFlush(&cluster.Frame{Type: cluster.FrameStepStart, To: cluster.WorkerID(i),
+				Payload: start}); err != nil {
+				return nil, res, fmt.Errorf("dist: step start to %d: %w", i, err)
+			}
+		}
+
+		var unhalted, pending int64
+		merged := map[string]float64{}
+		for i, fc := range conns {
+			df, err := fc.expect(cluster.FrameStepDone)
+			if err != nil {
+				return nil, res, fmt.Errorf("dist: worker %d superstep %d: %w", i, s, err)
+			}
+			done, err := wire.DecodeStepDone(df.Payload)
+			if err != nil {
+				return nil, res, fmt.Errorf("dist: worker %d step done: %w", i, err)
+			}
+			if int(done.Superstep) != s {
+				return nil, res, fmt.Errorf("dist: worker %d reported superstep %d during %d", i, done.Superstep, s)
+			}
+			unhalted += done.Unhalted
+			pending += done.Pending
+			res.Executions += done.Executions
+			res.DataBatches += done.SentBatches
+			res.DataBytes += done.SentBytes
+			wireTotals[i] = done.WireBytes
+			for j, k := range done.AggKeys {
+				merged[k] += done.AggVals[j]
+			}
+		}
+		res.Supersteps = s + 1
+
+		if unhalted == 0 && pending == 0 {
+			res.Converged = true
+			break
+		}
+		if prog.MasterHalt != nil {
+			for k, v := range merged {
+				windowAgg[k] += v
+			}
+			if prog.MasterHalt(s, windowAgg) {
+				res.Converged = true
+				break
+			}
+			windowAgg = map[string]float64{}
+		}
+		aggPrev = merged
+	}
+
+	// Finish and value collection: each worker ships its owned pairs.
+	fin := wire.AppendFinish(nil, wire.Finish{Converged: res.Converged, Supersteps: int32(res.Supersteps)})
+	for i, fc := range conns {
+		if err := fc.writeFlush(&cluster.Frame{Type: cluster.FrameFinish, To: cluster.WorkerID(i),
+			Payload: fin}); err != nil {
+			return nil, res, fmt.Errorf("dist: finish to %d: %w", i, err)
+		}
+	}
+	values := make([]V, numVertices)
+	codec := wire.AutoMsgCodec[V]()
+	for i, fc := range conns {
+		vf, err := fc.expect(cluster.FrameValues)
+		if err != nil {
+			return nil, res, fmt.Errorf("dist: worker %d values: %w", i, err)
+		}
+		pairs, err := wire.DecodeValues(codec, vf.Payload)
+		if err != nil {
+			return nil, res, fmt.Errorf("dist: worker %d values: %w", i, err)
+		}
+		for _, p := range pairs {
+			if int(p.ID) < 0 || int(p.ID) >= numVertices {
+				return nil, res, fmt.Errorf("dist: worker %d reported out-of-range vertex %d", i, p.ID)
+			}
+			values[p.ID] = p.Val
+		}
+	}
+	for _, wb := range wireTotals {
+		res.WireBytes += wb
+	}
+	return values, res, nil
+}

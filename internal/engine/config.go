@@ -126,6 +126,28 @@ func (m RecoveryMode) String() string {
 	}
 }
 
+// TransportKind selects the cluster.Transport backend for a run.
+type TransportKind uint8
+
+const (
+	// TransportInProc is the simulated in-process transport (cluster.Mem).
+	TransportInProc TransportKind = iota
+	// TransportTCP moves all inter-worker traffic over loopback TCP
+	// sockets through the binary frame codec (cluster.TCP).
+	TransportTCP
+)
+
+func (t TransportKind) String() string {
+	switch t {
+	case TransportInProc:
+		return "inproc"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", uint8(t))
+	}
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Workers is the simulated cluster size. Default 1.
@@ -142,8 +164,16 @@ type Config struct {
 	Mode Mode
 	// Sync selects the synchronization technique.
 	Sync Sync
-	// Latency is the simulated network model.
+	// Latency is the simulated network model. Enforced by the in-process
+	// transport; the TCP backend records it but lets the real wire set
+	// the timing.
 	Latency cluster.LatencyModel
+	// Transport selects the wire backend connecting the workers: the
+	// in-process simulator (default) or real TCP loopback sockets with
+	// the binary frame codec. Everything above the transport — engines,
+	// message stores, sync techniques, fault injection — runs unchanged
+	// over either.
+	Transport TransportKind
 	// BufferCap is the message buffer cache threshold in entries; default
 	// 512.
 	BufferCap int
@@ -257,6 +287,9 @@ func (c Config) validate() error {
 		if c.WatchdogTimeout > 0 {
 			return fmt.Errorf("engine: the liveness watchdog monitors superstep barriers; BAP has none")
 		}
+	}
+	if c.Transport > TransportTCP {
+		return fmt.Errorf("engine: unknown transport kind %d", uint8(c.Transport))
 	}
 	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("engine: CheckpointEvery = %d with no CheckpointDir; checkpoints need somewhere to go", c.CheckpointEvery)

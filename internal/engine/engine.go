@@ -16,6 +16,7 @@ import (
 	"serialgraph/internal/history"
 	"serialgraph/internal/model"
 	"serialgraph/internal/partition"
+	"serialgraph/internal/wire"
 )
 
 // runner holds the state shared by the master and all workers of one run.
@@ -24,7 +25,7 @@ type runner[V, M any] struct {
 	prog model.Program[V, M]
 	cfg  Config
 	pm   *partition.Map
-	tr   *cluster.Transport
+	tr   cluster.Transport
 	reg  *metrics.Registry
 
 	workers []*worker[V, M]
@@ -121,6 +122,28 @@ type runner[V, M any] struct {
 	maxConc     atomic.Int64
 }
 
+// newTransport builds the run's cluster backend. The TCP backend gets a
+// payload codec specialized to the program's message type — honoring the
+// program's explicit serialization contract when it declares one — and
+// the run's metrics registry for the wire-phase timers.
+func newTransport[V, M any](cfg Config, prog model.Program[V, M], reg *metrics.Registry) (cluster.Transport, error) {
+	if cfg.Transport != TransportTCP {
+		return cluster.New(cfg.Workers, cfg.Latency), nil
+	}
+	var codec cluster.PayloadCodec
+	if prog.MsgAppend != nil && prog.MsgRead != nil {
+		codec = wire.NewCodecWith(wire.MsgCodec[M]{Append: prog.MsgAppend, Read: prog.MsgRead})
+	} else {
+		codec = wire.NewCodec[M]()
+	}
+	tcp, err := cluster.NewTCPLoopback(cfg.Workers, cfg.Latency, codec)
+	if err != nil {
+		return nil, err
+	}
+	tcp.SetMetrics(reg)
+	return tcp, nil
+}
+
 // Run executes prog over g under cfg and returns the final vertex values.
 // When cfg.TrackHistory is set, the returned recorder holds the
 // transaction log for serializability checking.
@@ -170,7 +193,11 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	if prog.Semantics == model.Overwrite {
 		r.buildOutSlots()
 	}
-	r.tr = cluster.New(cfg.Workers, cfg.Latency)
+	tr, err := newTransport(cfg, prog, r.reg)
+	if err != nil {
+		return nil, Result{}, nil, err
+	}
+	r.tr = tr
 	defer r.tr.Close()
 	r.recycleBatches = cfg.Fault == nil
 	if cfg.Fault != nil {

@@ -151,7 +151,7 @@ type Stats struct {
 // schedule and message counters are single-use).
 type Injector struct {
 	plan Plan
-	tr   atomic.Pointer[cluster.Transport]
+	tr   atomic.Value // stores cluster.Transport
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -221,7 +221,7 @@ func (in *Injector) Validate(n int) error {
 
 // Attach wires the injector into the transport. The engine calls it after
 // creating the transport and before any traffic flows.
-func (in *Injector) Attach(tr *cluster.Transport) {
+func (in *Injector) Attach(tr cluster.Transport) {
 	in.tr.Store(tr)
 	tr.SetFaultHook(in)
 }
@@ -231,7 +231,7 @@ func (in *Injector) Attach(tr *cluster.Transport) {
 // superstep, so the victim is dead for the superstep's whole duration.
 func (in *Injector) BeginSuperstep(s int) {
 	in.curStep.Store(int64(s))
-	tr := in.tr.Load()
+	tr, _ := in.tr.Load().(cluster.Transport)
 	if tr == nil {
 		return
 	}
@@ -301,7 +301,7 @@ func (in *Injector) OnDeliver(m cluster.Message) {
 		return
 	}
 	n := in.delivered.Add(1)
-	tr := in.tr.Load()
+	tr, _ := in.tr.Load().(cluster.Transport)
 	if tr == nil {
 		return
 	}

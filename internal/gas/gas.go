@@ -114,7 +114,7 @@ type grunner[V comparable, M any] struct {
 	prog model.GASProgram[V, M]
 	cfg  Config
 	pm   *partition.Map
-	tr   *cluster.Transport
+	tr   cluster.Transport
 
 	workers []*gworker[V, M]
 	// values is the primary copy of every vertex. Reads and writes go

@@ -191,6 +191,13 @@ const (
 	PhaseBarrierWait
 	// PhaseCheckpoint: master-side checkpoint writing.
 	PhaseCheckpoint
+	// PhaseWireEncode: TCP-backend frame encoding (writer goroutines,
+	// off the compute path). Zero on the in-process backend.
+	PhaseWireEncode
+	// PhaseWireDecode: TCP-backend frame decoding (read pumps).
+	PhaseWireDecode
+	// PhaseWireFlush: TCP-backend socket writes and coalesced flushes.
+	PhaseWireFlush
 	numPhases
 )
 
@@ -200,6 +207,9 @@ var phaseNames = [numPhases]string{
 	"remote_flush_ns",
 	"barrier_wait_ns",
 	"checkpoint_ns",
+	"wire_encode_ns",
+	"wire_decode_ns",
+	"wire_flush_ns",
 }
 
 // Name returns the stable JSON key of a phase.

@@ -104,6 +104,14 @@ type Program[V, M any] struct {
 	// superstep with the merged aggregator values; returning true
 	// terminates the computation (Pregel's master-compute halting).
 	MasterHalt func(superstep int, aggregates map[string]float64) bool
+	// MsgAppend/MsgRead, when both non-nil, are the program's wire
+	// serialization contract: MsgAppend appends one message's encoding to
+	// dst, MsgRead parses one message from the front of b and returns the
+	// bytes consumed. Real transport backends use them to encode batches;
+	// when nil, the transport falls back to an automatic codec (compact
+	// fixed/varint layouts for numeric M, gob for struct messages).
+	MsgAppend func(dst []byte, m M) []byte
+	MsgRead   func(b []byte) (M, int, error)
 }
 
 // GASProgram is a GraphLab-style gather/apply/scatter program. The gather

@@ -2,11 +2,14 @@ package torture
 
 // shrink.go implements greedy scenario minimization: once a case fails,
 // the harness tries a fixed list of simplifying transforms — remove the
-// fault plan, drop checkpointing, clear ablation flags, fall back to hash
-// partitioning, halve the graph, reduce partitions, workers, threads —
-// and keeps each transform only if the scenario still fails. Because
+// fault plan, drop checkpointing, clear ablation flags, fall back to the
+// in-process transport and hash partitioning, halve the graph, reduce
+// partitions, workers, threads — and keeps each transform only if the
+// scenario still fails. Because
 // failures can be nondeterministic (thread scheduling is not part of the
 // seed), "still fails" means "failed at least once in a few attempts".
+
+import "serialgraph/internal/engine"
 
 // shrinkRetries is how many times a candidate is re-run before the
 // shrinker concludes the transform lost the failure.
@@ -43,6 +46,13 @@ var transforms = []transform{
 		}
 		sc.DisableSenderCombine = false
 		sc.DisableHaltedSkip = false
+		return sc, true
+	}},
+	{"inproc-transport", func(sc Scenario) (Scenario, bool) {
+		if sc.Transport == engine.TransportInProc {
+			return sc, false
+		}
+		sc.Transport = engine.TransportInProc
 		return sc, true
 	}},
 	{"hash-partitioner", func(sc Scenario) (Scenario, bool) {

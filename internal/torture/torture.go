@@ -1,7 +1,8 @@
 // Package torture is a randomized, deterministically-seeded model-checking
 // harness for the whole engine stack. It samples the full configuration
 // cube — graph shape, partitioner, worker/partition/thread counts,
-// computation mode (BSP/Async/BAP), synchronization technique, combiner
+// computation mode (BSP/Async/BAP), synchronization technique, transport
+// backend (in-process simulator or real TCP loopback), combiner
 // flags, topology mutations, and a random fault plan — runs a randomly
 // chosen algorithm, and checks three oracle classes against the run:
 //
@@ -25,11 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 
 	"serialgraph/internal/algorithms"
 	"serialgraph/internal/checkpoint"
@@ -64,6 +67,11 @@ type Scenario struct {
 	Partitioner    string // "hash", "range", "ldg"
 	Mode           engine.Mode
 	Sync           engine.Sync
+	// Transport selects the wire backend (in-process simulator or real
+	// TCP loopback). Orthogonal to every compatibility rule: results and
+	// oracles are transport-independent by design, which is exactly what
+	// sweeping it here proves.
+	Transport engine.TransportKind
 
 	DisableSenderCombine bool
 	DisableHaltedSkip    bool
@@ -90,9 +98,9 @@ func (sc Scenario) String() string {
 	if sc.Fault != nil {
 		f = sc.Fault.String()
 	}
-	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v ckpt=%d fault=%s recovery=%v broken=%v",
+	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v transport=%v ckpt=%d fault=%s recovery=%v broken=%v",
 		sc.Seed, sc.Shape, sc.N, sc.Algorithm, sc.Workers, sc.PartsPerWorker,
-		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.CheckpointEvery, f, sc.Recovery, sc.BreakProtocol)
+		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.Transport, sc.CheckpointEvery, f, sc.Recovery, sc.BreakProtocol)
 }
 
 // mix64 is the splitmix64 finalizer, the same mixer hash partitioning uses.
@@ -199,8 +207,34 @@ func Sample(seed uint64) Scenario {
 	if sc.Fault != nil && len(sc.Fault.Crashes) > 0 && r.Intn(2) == 0 {
 		sc.Recovery = engine.RecoverConfined
 	}
+	// Transport is likewise a late draw, after everything older seeds
+	// decoded: roughly a quarter of cases run over real TCP loopback
+	// instead of the in-process simulator. Environments without loopback
+	// skip these cases rather than resampling (see LoopbackAvailable and
+	// the sweep in torture_test), so every executed seed stays replayable
+	// with -torture.seed.
+	if r.Intn(4) == 0 {
+		sc.Transport = engine.TransportTCP
+	}
 	return sc
 }
+
+// LoopbackAvailable reports (once) whether TCP loopback sockets work in
+// this environment; TCP-transport scenarios are skipped when they don't.
+func LoopbackAvailable() bool {
+	loopbackOnce.Do(func() {
+		if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+			ln.Close()
+			loopbackOK = true
+		}
+	})
+	return loopbackOK
+}
+
+var (
+	loopbackOnce sync.Once
+	loopbackOK   bool
+)
 
 // SampleBroken decodes a seed into a deliberately broken scenario: a dense
 // graph, a workload that keeps re-reading and re-writing neighbor state,
@@ -258,6 +292,7 @@ func buildConfig(sc Scenario, ckptDir string) engine.Config {
 		ThreadsPerWorker:           sc.Threads,
 		Mode:                       sc.Mode,
 		Sync:                       sc.Sync,
+		Transport:                  sc.Transport,
 		Seed:                       sc.Seed,
 		MaxSupersteps:              sc.MaxSupersteps,
 		DisableSenderCombine:       sc.DisableSenderCombine,

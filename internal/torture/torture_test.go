@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"serialgraph/internal/engine"
 )
 
 // Replay and sizing knobs. A failing sweep prints the exact command to
@@ -62,6 +64,9 @@ func failCase(t *testing.T, sc Scenario, err error, scratch string) {
 func TestTorture(t *testing.T) {
 	if *flagSeed != 0 {
 		sc := Sample(*flagSeed)
+		if sc.Transport == engine.TransportTCP && !LoopbackAvailable() {
+			t.Skipf("seed %#x needs TCP loopback, unavailable here", sc.Seed)
+		}
 		t.Logf("replaying %v", sc)
 		if err := RunScenario(sc, t.TempDir()); err != nil {
 			t.Fatalf("replay failed:\n%v", err)
@@ -85,6 +90,12 @@ func TestTorture(t *testing.T) {
 			// The fault-plan sweep spends its case budget only on crash
 			// scenarios; skipping (rather than resampling) keeps every
 			// executed seed replayable with a plain -torture.seed.
+			continue
+		}
+		if sc.Transport == engine.TransportTCP && !LoopbackAvailable() {
+			// Same skip-not-resample rule for the transport dimension:
+			// sandboxes without loopback skip TCP cases, so the seeds
+			// that do run replay identically everywhere.
 			continue
 		}
 		ran++

@@ -175,6 +175,30 @@ func (t Technique) String() string {
 	}
 }
 
+// Transport selects the wire backend connecting the simulated workers.
+type Transport uint8
+
+const (
+	// InProc is the in-process simulated transport (default): messages
+	// cross goroutine channels with modeled latency and byte accounting.
+	InProc Transport = iota
+	// TCPLoopback moves every inter-worker message over real loopback
+	// TCP sockets through the binary frame codec. Results are identical
+	// to InProc; Result.Net additionally reports true wire bytes.
+	TCPLoopback
+)
+
+func (t Transport) String() string {
+	switch t {
+	case InProc:
+		return "inproc"
+	case TCPLoopback:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Transport(%d)", uint8(t))
+	}
+}
+
 // Options configures a run. The zero value is a single-worker asynchronous
 // run without serializability.
 type Options struct {
@@ -190,6 +214,10 @@ type Options struct {
 	Model Model
 	// Technique selects the serializability technique.
 	Technique Technique
+	// Transport selects the wire backend: the in-process simulator
+	// (default) or real TCP loopback sockets (Run only; the GAS engine
+	// is in-process).
+	Transport Transport
 	// NetworkLatency is the simulated one-way propagation delay.
 	NetworkLatency time.Duration
 	// NetworkBandwidth is per-link bytes/second (0 = infinite).
@@ -263,12 +291,22 @@ func (o Options) engineConfig() (engine.Config, error) {
 	default:
 		return engine.Config{}, fmt.Errorf("serialgraph: unknown model %v", o.Model)
 	}
+	var transport engine.TransportKind
+	switch o.Transport {
+	case InProc:
+		transport = engine.TransportInProc
+	case TCPLoopback:
+		transport = engine.TransportTCP
+	default:
+		return engine.Config{}, fmt.Errorf("serialgraph: unknown transport %v", o.Transport)
+	}
 	cfg := engine.Config{
 		Workers:             o.Workers,
 		PartitionsPerWorker: o.PartitionsPerWorker,
 		ThreadsPerWorker:    o.ThreadsPerWorker,
 		Mode:                mode,
 		Sync:                sync,
+		Transport:           transport,
 		Latency:             o.latency(),
 		BufferCap:           o.BufferCap,
 		MaxSupersteps:       o.MaxSupersteps,
