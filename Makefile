@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race race tcp fuzz-wire chaos torture torture-pinned fuzz bench-json bench-smoke bench-micro bench-diff ci clean
+.PHONY: build vet test test-short test-race race tcp flow fuzz-wire chaos torture torture-pinned torture-budget fuzz bench-json bench-smoke bench-micro bench-diff ci clean
 
 build:
 	$(GO) build ./...
@@ -58,10 +58,28 @@ tcp:
 	$(GO) test -race -count=1 ./internal/engine/ -run TestTransportEquivalenceMatrix -v
 	$(GO) test -race -count=1 ./cmd/graphrun/ -run TestGraphrunMultiProcess -v
 
+# Bounded-memory message-plane gate: the credit-window and spill-tier unit
+# suites under the race detector, then the budget equivalence matrix (every
+# sync technique × algorithm × {unbounded, tiny, huge} budget, bitwise
+# checks) and the tiny-budget-over-TCP cell.
+flow:
+	$(GO) test -race -count=1 ./internal/cluster/ -run 'Flow|Credit'
+	$(GO) test -race -count=1 ./internal/msgstore/ -run 'Spill'
+	$(GO) test -race -count=1 ./internal/engine/ -run 'TestBudget' -v
+
+# Tiny-budget torture row (nightly): the pinned sweep rerun with a forced
+# tiny message-plane budget, so credit windows sit at the floor and the BSP
+# spill tier cuts runs on nearly every superstep.
+torture-budget:
+	$(GO) test ./internal/torture/ -run 'TestTorture$$' -count=1 \
+		-torture.n=200 -torture.root=0xdecaf -torture.tinybudget -timeout=15m
+
 # 30-second fuzz smoke over the frame decoder: truncated/corrupt/oversized
-# frames must error, never panic or over-allocate.
+# frames must error, never panic or over-allocate; plus a shorter pass over
+# the Credit grant frame against its golden fixture corpus.
 fuzz-wire:
 	$(GO) test ./internal/wire/ -fuzz FuzzFrameDecode -fuzztime=30s -run '^$$'
+	$(GO) test ./internal/wire/ -fuzz FuzzCreditFrame -fuzztime=15s -run '^$$'
 
 # Short fuzz pass over the graph loader/symmetrize targets.
 fuzz:

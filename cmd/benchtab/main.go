@@ -7,7 +7,7 @@
 //
 //	benchtab -exp table1|fig1|fig2|fig3|fig6a|fig6b|fig6c|fig6d|giraphx|
 //	              ablation-partitions|ablation-degenerate|ablation-partitioner|
-//	              recovery|all
+//	              recovery|flow|all
 //	         [-scale 0.5] [-workers 16,32] [-latency 50us] [-v]
 //	         [-json bench.json] [-label v3] [-trace]
 //
@@ -113,6 +113,9 @@ func main() {
 		case "recovery":
 			header(out, "§6.4: checkpoint overhead and crash-recovery cost, SSSP on OR")
 			bench.Print(out, keep(bench.RecoveryOverhead(cfg)))
+		case "flow":
+			header(out, "Bounded memory: credit flow + spill tier, BSP PageRank on UK")
+			bench.Print(out, keep(bench.FlowOverhead(cfg)))
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
@@ -123,7 +126,7 @@ func main() {
 			"table1", "fig2", "fig1", "fig6a", "fig6b", "fig6c", "fig6d",
 			"giraphx", "ablation-partitions", "ablation-degenerate", "ablation-partitioner",
 			"ablation-combining", "ablation-skip", "mis", "ablation-bap", "exclusion",
-			"recovery",
+			"recovery", "flow",
 		} {
 			runOne(name)
 			fmt.Fprintln(out)

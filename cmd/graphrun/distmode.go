@@ -49,6 +49,7 @@ type coordinatorConfig struct {
 	source        int
 	eps           float64
 	out           string
+	msgMem        int64
 }
 
 // runCoordinatorProcess drives one distributed run and prints the same
@@ -67,16 +68,17 @@ func runCoordinatorProcess(cfg coordinatorConfig) error {
 		cfg.maxSupersteps = 100000
 	}
 	job := dist.Job{
-		Alg:            cfg.alg,
-		GraphPath:      cfg.graphPath,
-		Family:         cfg.family,
-		N:              int32(cfg.familyN),
-		Workers:        int32(cfg.workers),
-		PartsPerWorker: int32(cfg.ppw),
-		MaxSupersteps:  int32(cfg.maxSupersteps),
-		Seed:           cfg.seed,
-		Source:         int32(cfg.source),
-		Eps:            cfg.eps,
+		Alg:             cfg.alg,
+		GraphPath:       cfg.graphPath,
+		Family:          cfg.family,
+		N:               int32(cfg.familyN),
+		Workers:         int32(cfg.workers),
+		PartsPerWorker:  int32(cfg.ppw),
+		MaxSupersteps:   int32(cfg.maxSupersteps),
+		Seed:            cfg.seed,
+		Source:          int32(cfg.source),
+		Eps:             cfg.eps,
+		MsgMemoryBudget: cfg.msgMem,
 	}
 	switch cfg.alg {
 	case "coloring", "wcc":

@@ -54,6 +54,7 @@ func main() {
 	familyN := flag.Int("n", 0, "generated family size (with -family)")
 	seed := flag.Uint64("seed", 1, "partitioning (and -family generation) seed")
 	maxSupersteps := flag.Int("max-supersteps", 0, "bound non-converging runs (0 = library default)")
+	msgMem := flag.Int64("msg-mem", 0, "message-plane memory budget in bytes: sizes the credit windows and, under BSP, caps buffered inbound messages by spilling overflow to disk in arrival order (0 = unbounded)")
 	check := flag.Bool("check", false, "verify serializability (records history; slower)")
 	out := flag.String("o", "", "write final vertex values to this file (text, one per line)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every k-th superstep (0 = off)")
@@ -89,7 +90,7 @@ func main() {
 			listen: *listenAddr, alg: *alg, graphPath: *graphPath,
 			family: *family, familyN: *familyN, workers: *workersRemote,
 			ppw: *ppw, maxSupersteps: *maxSupersteps, seed: *seed,
-			source: *source, eps: *eps, out: *out,
+			source: *source, eps: *eps, out: *out, msgMem: *msgMem,
 		}
 		if err := runCoordinatorProcess(cfg); err != nil {
 			log.Fatal(err)
@@ -175,7 +176,7 @@ func main() {
 		Seed: *seed, MaxSupersteps: *maxSupersteps,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
 		Recovery: recovery, WatchdogTimeout: *watchdogTimeout,
-		DetailedStats: *traceOut != "",
+		DetailedStats: *traceOut != "", MsgMemoryBudget: *msgMem,
 	}
 
 	// Assemble the fault plan, if any fault flag is set.

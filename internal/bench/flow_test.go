@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"serialgraph/internal/metrics"
+)
+
+// TestFlowOverheadAcceptance is the bounded-memory acceptance gate: BSP
+// PageRank on the largest dataset analog, with the budget set to 1/8 of
+// the observed peak buffered bytes, must complete with its peak under
+// the budget, spill at least once, and stay bitwise-identical to the
+// unbounded run. FlowOverhead itself panics on any of those violations;
+// this test additionally pins the row shape and re-checks the peak and
+// superstep equality from the returned rows, at full dataset scale so
+// the numbers match the BENCH trajectory recipe.
+func TestFlowOverheadAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale UK PageRank; covered by the long mode and make flow")
+	}
+	rows := FlowOverhead(Config{Scale: 1, Workers: []int{16}})
+	if len(rows) != 3 {
+		t.Fatalf("FlowOverhead returned %d rows, want 3", len(rows))
+	}
+	base, probe, tight := rows[0], rows[1], rows[2]
+	if base.Technique != "unbounded" || probe.Technique != "probe" || tight.Technique != "budget-peak/8" {
+		t.Fatalf("unexpected row labels: %q %q %q", base.Technique, probe.Technique, tight.Technique)
+	}
+	if base.Supersteps != tight.Supersteps || base.Executions != tight.Executions {
+		t.Fatalf("budgeted run took %d supersteps / %d executions, unbounded %d / %d",
+			tight.Supersteps, tight.Executions, base.Supersteps, base.Executions)
+	}
+	// The probe's histogram Max is the per-worker peak; the global budget
+	// is peak × workers / 8, so each worker's share comes out to peak/8.
+	peak := probe.Metrics.Hists[metrics.HistBufferedBytes].Max
+	perWorker := peak / 8
+	if got := tight.Metrics.Hists[metrics.HistBufferedBytes].Max; got > perWorker {
+		t.Fatalf("peak buffered bytes %d exceeds per-worker budget %d (unbounded peak %d)", got, perWorker, peak)
+	}
+	if spilled := tight.Metrics.Counters[metrics.BytesSpilled]; spilled == 0 {
+		t.Fatal("budget-peak/8 run never exercised the spill tier")
+	}
+	if spilled := base.Metrics.Counters[metrics.BytesSpilled]; spilled != 0 {
+		t.Fatalf("unbounded run spilled %d bytes", spilled)
+	}
+	t.Logf("peak buffered: unbounded-probe %d B, per-worker budget %d B, budgeted peak %d B, spilled %d B, credit wait %d ns",
+		peak, perWorker, tight.Metrics.Hists[metrics.HistBufferedBytes].Max,
+		tight.Metrics.Counters[metrics.BytesSpilled], tight.Metrics.Counters[metrics.CreditWaitNs])
+}

@@ -1,0 +1,224 @@
+package cluster
+
+// Credit-based flow control for the data plane.
+//
+// Every ordered worker pair (from, to) has an independent credit window:
+// a byte budget of data that may be outstanding — sent but not yet
+// consumed by the receiver. A sender that would exceed the window blocks
+// in Acquire until the receiver consumes earlier data and credit flows
+// back. On the in-process transport credit is returned directly when a
+// data message leaves the lane (delivered or dropped); on TCP the
+// receiver returns credit with a Credit frame on the reverse lane.
+//
+// The window bounds sender-side queue growth without touching delivery
+// order: credit frames are ordinary lane traffic, data frames are never
+// reordered or retransmitted, and a blocked Acquire only delays the
+// moment a frame enters its lane. Lane FIFO — the C1 argument — is
+// therefore preserved verbatim (see DESIGN.md §12).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"serialgraph/internal/metrics"
+)
+
+// CreditGrant is the payload of a Credit frame: the receiver returns
+// Bytes of window to the sender of earlier data. On the wire the frame's
+// From is the granting (receiving) worker and To is the original data
+// sender; the grant releases credit on the (To, From) data lane.
+type CreditGrant struct {
+	// Bytes is the declared size of the consumed data, in the same
+	// units the sender charged in Acquire.
+	Bytes int64
+}
+
+// DefaultCreditWindow is the per-ordered-pair window used when no
+// message-memory budget is configured. It is far above what any test
+// graph buffers, so flow control is always armed (and its conservation
+// oracle always checkable) without ever blocking small runs.
+const DefaultCreditWindow int64 = 4 << 20
+
+// WindowForBudget derives the per-ordered-pair credit window from a
+// message-memory budget over n workers. Budget 0 means "default": a
+// large window that never blocks small runs. A positive budget is split
+// across a worker's inbound lanes with headroom for double buffering,
+// floored so a window can always carry a reasonable batch.
+func WindowForBudget(budget int64, n int) int64 {
+	if budget <= 0 {
+		return DefaultCreditWindow
+	}
+	if n < 1 {
+		n = 1
+	}
+	w := budget / int64(2*n)
+	if w < 64<<10 {
+		w = 64 << 10
+	}
+	return w
+}
+
+// flowLane is the credit state of one ordered pair.
+type flowLane struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int64 // bytes acquired and not yet released
+	granted     int64 // lifetime bytes acquired
+	released    int64 // lifetime bytes released
+}
+
+// Flow tracks per-ordered-pair credit windows for an n-worker cluster.
+// Acquire charges the window (blocking while it is full), Release
+// returns credit. All methods are safe for concurrent use and safe on a
+// nil *Flow (they become no-ops), so call sites need no guards.
+type Flow struct {
+	n      int
+	window int64
+	lanes  []flowLane
+
+	mu      sync.Mutex
+	aborted bool
+
+	reg *metrics.Registry
+}
+
+// NewFlow creates a Flow for n workers with the given per-ordered-pair
+// byte window. A window <= 0 falls back to DefaultCreditWindow.
+func NewFlow(n int, window int64) *Flow {
+	if window <= 0 {
+		window = DefaultCreditWindow
+	}
+	f := &Flow{n: n, window: window, lanes: make([]flowLane, n*n)}
+	for i := range f.lanes {
+		f.lanes[i].cond = sync.NewCond(&f.lanes[i].mu)
+	}
+	return f
+}
+
+// SetMetrics attaches a registry; blocked Acquire time is accumulated
+// into metrics.CreditWaitNs.
+func (f *Flow) SetMetrics(reg *metrics.Registry) {
+	if f != nil {
+		f.reg = reg
+	}
+}
+
+// Window reports the per-ordered-pair byte window.
+func (f *Flow) Window() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.window
+}
+
+func (f *Flow) lane(from, to WorkerID) *flowLane {
+	return &f.lanes[int(from)*f.n+int(to)]
+}
+
+// Acquire charges bytes against the (from, to) window, blocking while
+// the window is full. A frame larger than the whole window is admitted
+// once the lane is empty, so oversized batches make progress instead of
+// deadlocking. Abort unblocks all waiters.
+func (f *Flow) Acquire(from, to WorkerID, bytes int) {
+	if f == nil || bytes <= 0 {
+		return
+	}
+	l := f.lane(from, to)
+	l.mu.Lock()
+	var waited time.Duration
+	for l.outstanding > 0 && l.outstanding+int64(bytes) > f.window && !f.isAborted() {
+		start := time.Now()
+		l.cond.Wait()
+		waited += time.Since(start)
+	}
+	l.outstanding += int64(bytes)
+	l.granted += int64(bytes)
+	l.mu.Unlock()
+	if waited > 0 && f.reg != nil {
+		f.reg.Add(metrics.CreditWaitNs, waited.Nanoseconds())
+	}
+}
+
+// Release returns bytes of credit to the (from, to) window. Releases
+// are clamped at zero outstanding, which makes duplicate deliveries
+// under fault injection (at-least-once) harmless: the invariant
+// granted − released == outstanding holds exactly at all times.
+func (f *Flow) Release(from, to WorkerID, bytes int) {
+	if f == nil || bytes <= 0 {
+		return
+	}
+	l := f.lane(from, to)
+	l.mu.Lock()
+	d := int64(bytes)
+	if d > l.outstanding {
+		d = l.outstanding
+	}
+	l.outstanding -= d
+	l.released += d
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (f *Flow) isAborted() bool {
+	f.mu.Lock()
+	a := f.aborted
+	f.mu.Unlock()
+	return a
+}
+
+// Abort unblocks every waiter and makes subsequent Acquires non-blocking
+// until Reset. Called when the engine tears a superstep down (watchdog
+// kill, rollback) so no sender stays parked on credit that will never
+// return.
+func (f *Flow) Abort() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.aborted = true
+	f.mu.Unlock()
+	for i := range f.lanes {
+		f.lanes[i].cond.Broadcast()
+	}
+}
+
+// Reset clears the abort flag and zeroes every lane, for reuse after a
+// rollback. Any credit frame still in flight from before the reset is
+// harmless: Release clamps at zero outstanding.
+func (f *Flow) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.aborted = false
+	f.mu.Unlock()
+	for i := range f.lanes {
+		l := &f.lanes[i]
+		l.mu.Lock()
+		l.outstanding, l.granted, l.released = 0, 0, 0
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}
+}
+
+// CheckBalanced verifies the credit-conservation invariant at a barrier:
+// with the transport idle, every lane's granted credit must have been
+// consumed (outstanding == 0). It returns the first imbalanced pair, or
+// nil. Meaningful only after the transport's WaitIdle has returned.
+func (f *Flow) CheckBalanced() error {
+	if f == nil {
+		return nil
+	}
+	for i := range f.lanes {
+		l := &f.lanes[i]
+		l.mu.Lock()
+		out, g, r := l.outstanding, l.granted, l.released
+		l.mu.Unlock()
+		if out != 0 || g-r != out {
+			return fmt.Errorf("credit imbalance on lane %d->%d: granted %d released %d outstanding %d",
+				i/f.n, i%f.n, g, r, out)
+		}
+	}
+	return nil
+}

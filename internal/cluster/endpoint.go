@@ -35,6 +35,8 @@ type Endpoint struct {
 	onData func(from WorkerID, payload any)
 	onCtrl func(from WorkerID, payload any)
 
+	flow *Flow // optional credit windows; nil-safe
+
 	mu      sync.Mutex
 	nextSeq uint64
 	acks    map[uint64]chan struct{}
@@ -83,9 +85,17 @@ func (e *Endpoint) handle(m Message) {
 	}
 }
 
+// SetFlow attaches per-ordered-pair credit windows: every SendData first
+// acquires window bytes, blocking while the (e.id, to) window is full.
+// Control traffic is never subject to flow control (it must keep moving
+// so credit and acks can flow back).
+func (e *Endpoint) SetFlow(f *Flow) { e.flow = f }
+
 // SendData sends a data payload (a batch of vertex messages) of the given
-// simulated size.
+// simulated size. With a Flow attached it blocks until the credit window
+// to the destination admits the batch.
 func (e *Endpoint) SendData(to WorkerID, payload any, bytes int) {
+	e.flow.Acquire(e.id, to, bytes)
 	e.t.Send(Message{From: e.id, To: to, Kind: Data, Bytes: bytes, Payload: payload})
 }
 

@@ -54,6 +54,12 @@ const (
 	FrameFlush byte = 0x03
 	// FrameAck is an AckMsg.
 	FrameAck byte = 0x04
+	// FrameCredit is a CreditGrant: the receiver of earlier data returns
+	// credit-window bytes to the sender. Credit frames are transport-level
+	// traffic — the receiver's pump consumes them directly (releasing the
+	// sender's window) without delivering to a handler or touching the
+	// per-kind message ledger; only the true wire-byte counters see them.
+	FrameCredit byte = 0x05
 
 	// FrameHello opens every connection: protocol version + sender
 	// identity (and, for the multi-process driver, a listen address).

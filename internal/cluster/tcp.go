@@ -28,6 +28,7 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -61,6 +62,7 @@ type TCP struct {
 	stats    Stats
 	dead     []atomic.Bool
 	hook     FaultHook
+	flow     *Flow // optional credit windows; nil when flow control is off
 	reg      atomic.Pointer[metrics.Registry]
 
 	inflightMu sync.Mutex
@@ -286,6 +288,21 @@ func (t *TCP) RegisterHandler(w WorkerID, h Handler) {
 // any traffic flows.
 func (t *TCP) SetFaultHook(h FaultHook) { t.hook = h }
 
+// SetFlow attaches the credit windows senders acquired against and arms
+// the credit protocol: for every data frame a pump consumes it sends a
+// Credit frame back on the reverse lane, and receiving a Credit frame
+// releases the original sender's window. Must be set before any traffic
+// flows.
+func (t *TCP) SetFlow(f *Flow) { t.flow = f }
+
+// releaseCredit returns m's window bytes directly for a data message
+// dropped on the sender's side, before any frame crossed the wire.
+func (t *TCP) releaseCredit(m Message) {
+	if m.Kind == Data {
+		t.flow.Release(m.From, m.To, m.Bytes)
+	}
+}
+
 // Kill marks worker w as crashed; see (*Mem).Kill for the semantics.
 func (t *TCP) Kill(w WorkerID) { t.dead[w].Store(true) }
 
@@ -315,10 +332,12 @@ func (t *TCP) Send(m Message) {
 	}
 	if t.closed.Load() {
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	if m.Kind == Data && (t.dead[m.From].Load() || t.dead[m.To].Load()) {
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	var fate Fate
@@ -326,6 +345,7 @@ func (t *TCP) Send(m Message) {
 		fate = t.hook.OnSend(m)
 		if fate.Drop {
 			t.stats.DroppedMessages.Add(1)
+			t.releaseCredit(m)
 			return
 		}
 	}
@@ -344,6 +364,7 @@ func (t *TCP) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
 	if l.closed {
 		l.mu.Unlock()
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	switch m.Kind {
@@ -360,6 +381,35 @@ func (t *TCP) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
 	t.inflight++
 	t.inflightMu.Unlock()
 	l.q = append(l.q, tcpQueued{m, extraDelay, wireLost})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// enqueueCredit queues a Credit frame returning bytes of window from
+// granter (the worker whose pump consumed a data frame) back to sender.
+// Credit is transport-level traffic: it rides a real frame on the
+// (granter, sender) lane — so WireBytesSent/Received stay a balanced
+// ledger — but is invisible to the per-kind message counters and the
+// drop ledger, which the engine's conservation checks pin exactly. It
+// does count as in flight, so WaitIdle cannot return while a grant (and
+// therefore a window imbalance) is still on the wire. If the reverse
+// lane is already closed the window is released directly: the run is
+// tearing down and the sender must still be unblocked.
+func (t *TCP) enqueueCredit(granter, sender WorkerID, bytes int) {
+	l := t.lanes[int(granter)*t.n+int(sender)]
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		t.flow.Release(sender, granter, bytes)
+		return
+	}
+	t.inflightMu.Lock()
+	t.inflight++
+	t.inflightMu.Unlock()
+	l.q = append(l.q, tcpQueued{msg: Message{
+		From: granter, To: sender, Kind: Control,
+		Payload: CreditGrant{Bytes: int64(bytes)},
+	}})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -447,6 +497,23 @@ func (t *TCP) pump(br *bufio.Reader, conn net.Conn) {
 			return
 		}
 		t.stats.WireBytesReceived.Add(int64(wireBytes))
+		if f.Type == FrameCredit {
+			// Transport-level credit return: release the original data
+			// sender's (f.To → f.From) window and consume the frame here —
+			// it never reaches a handler or the per-kind ledger.
+			n, k := binary.Uvarint(f.Payload)
+			if k <= 0 {
+				panic(fmt.Sprintf("cluster: corrupt credit frame %d->%d", f.From, f.To))
+			}
+			t.flow.Release(f.To, f.From, int(n))
+			t.inflightMu.Lock()
+			t.inflight--
+			if t.inflight == 0 {
+				t.idleCond.Broadcast()
+			}
+			t.inflightMu.Unlock()
+			continue
+		}
 		reg := t.reg.Load()
 		start := time.Now()
 		payload, err := t.codec.DecodePayload(f.Type, f.Payload)
@@ -469,6 +536,13 @@ func (t *TCP) pump(br *bufio.Reader, conn net.Conn) {
 			if t.hook != nil {
 				t.hook.OnDeliver(m)
 			}
+		}
+		// The frame crossed the wire and is consumed either way
+		// (delivered or lost): return its window. The grant is queued
+		// before this frame's in-flight count drops, so WaitIdle holds
+		// until the credit lands and the windows balance.
+		if m.Kind == Data && t.flow != nil {
+			t.enqueueCredit(m.To, m.From, m.Bytes)
 		}
 		t.inflightMu.Lock()
 		t.inflight--

@@ -265,19 +265,56 @@ func TestTCPFaultWireLoss(t *testing.T) {
 	}
 }
 
+// oneShotDelayHook delays exactly the first data message it sees and
+// passes everything after it through untouched.
+type oneShotDelayHook struct {
+	delay time.Duration
+	used  atomic.Bool
+}
+
+func (h *oneShotDelayHook) OnSend(m cluster.Message) cluster.Fate {
+	if m.Kind == cluster.Data && h.used.CompareAndSwap(false, true) {
+		return cluster.Fate{Delay: h.delay}
+	}
+	return cluster.Fate{}
+}
+func (h *oneShotDelayHook) OnDeliver(cluster.Message) {}
+
 func TestTCPFaultStragglerDelay(t *testing.T) {
+	// The injected delay must be applied by the read pump head-of-line,
+	// like a slow frame on a Mem lane: an undelayed frame sent right
+	// behind the straggler on the same lane must still arrive after it.
+	// Ordering is verified by channel receives, not wall-clock windows
+	// (upper-bound sleeps flake under -race on loaded machines); the only
+	// timing assertion left is the flake-free lower bound.
 	tr := newTCP(t, 2)
 	defer tr.Close()
-	hook := &hookFunc{fate: cluster.Fate{Delay: 50 * time.Millisecond}}
-	tr.SetFaultHook(hook)
-	got := make(chan time.Time, 1)
+	tr.SetFaultHook(&oneShotDelayHook{delay: 50 * time.Millisecond})
+	got := make(chan float64, 2)
 	tr.RegisterHandler(0, func(m cluster.Message) {})
-	tr.RegisterHandler(1, func(m cluster.Message) { got <- time.Now() })
+	tr.RegisterHandler(1, func(m cluster.Message) {
+		got <- m.Payload.([]msgstore.Entry[float64])[0].Msg
+	})
 	start := time.Now()
-	tr.Send(cluster.Message{From: 0, To: 1, Kind: cluster.Data, Payload: batch(0, 1)})
-	at := <-got
-	if d := at.Sub(start); d < 40*time.Millisecond {
+	tr.Send(cluster.Message{From: 0, To: 1, Kind: cluster.Data, Payload: batch(0, 1)}) // straggler
+	tr.Send(cluster.Message{From: 0, To: 1, Kind: cluster.Data, Payload: batch(0, 2)}) // right behind it
+	recv := func() float64 {
+		select {
+		case v := <-got:
+			return v
+		case <-time.After(10 * time.Second):
+			t.Fatal("straggler never delivered")
+			return 0
+		}
+	}
+	if first := recv(); first != 1 {
+		t.Fatalf("frame %v overtook the head-of-line straggler", first)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
 		t.Errorf("straggler delivered after %v, want >= ~50ms", d)
+	}
+	if second := recv(); second != 2 {
+		t.Fatalf("second frame corrupted: got %v", second)
 	}
 }
 

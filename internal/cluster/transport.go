@@ -245,6 +245,7 @@ type Mem struct {
 	stats    Stats
 	dead     []atomic.Bool // per-worker crash flags
 	hook     FaultHook     // set before any traffic; nil when faults are off
+	flow     *Flow         // optional credit windows; nil when flow control is off
 
 	inflightMu sync.Mutex
 	inflight   int
@@ -303,6 +304,21 @@ func (t *Mem) RegisterHandler(w WorkerID, h Handler) {
 // workers start).
 func (t *Mem) SetFaultHook(h FaultHook) { t.hook = h }
 
+// SetFlow attaches the credit windows senders acquired against, so the
+// backend can return credit the moment a data message leaves its lane —
+// delivered or dropped. Must be set before any traffic flows.
+func (t *Mem) SetFlow(f *Flow) { t.flow = f }
+
+// releaseCredit returns m's window bytes for a data message that is done
+// (delivered, or dropped anywhere on its path). Credit acquired in
+// Endpoint.SendData must be returned on every exit path or senders would
+// park forever on a window that never refills.
+func (t *Mem) releaseCredit(m Message) {
+	if m.Kind == Data {
+		t.flow.Release(m.From, m.To, m.Bytes)
+	}
+}
+
 // Kill marks worker w as crashed. From then on the worker's data traffic
 // is lost — data messages sent by or addressed to it are dropped (and
 // counted in DroppedMessages), and in-flight data messages addressed to
@@ -344,10 +360,12 @@ func (t *Mem) Send(m Message) {
 	if t.closed.Load() {
 		// Shutting down; drop, as a dying cluster would — but account for it.
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	if m.Kind == Data && (t.dead[m.From].Load() || t.dead[m.To].Load()) {
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	var fate Fate
@@ -355,6 +373,7 @@ func (t *Mem) Send(m Message) {
 		fate = t.hook.OnSend(m)
 		if fate.Drop {
 			t.stats.DroppedMessages.Add(1)
+			t.releaseCredit(m)
 			return
 		}
 	}
@@ -375,6 +394,7 @@ func (t *Mem) enqueue(m Message, extraDelay time.Duration, wireLost bool) {
 	if l.closed {
 		l.mu.Unlock()
 		t.stats.DroppedMessages.Add(1)
+		t.releaseCredit(m)
 		return
 	}
 	switch m.Kind {
@@ -433,6 +453,9 @@ func (t *Mem) deliver(l *lane) {
 				t.hook.OnDeliver(tm.msg)
 			}
 		}
+		// Credit returns before the in-flight count drops, so a WaitIdle
+		// barrier always observes fully balanced windows.
+		t.releaseCredit(tm.msg)
 
 		t.inflightMu.Lock()
 		t.inflight--

@@ -166,14 +166,14 @@ type distCtx[V, M any] struct {
 	votedHalt bool
 }
 
-func (c *distCtx[V, M]) Superstep() int                { return c.superstep }
-func (c *distCtx[V, M]) ID() graph.VertexID            { return c.id }
-func (c *distCtx[V, M]) Value() V                      { return c.w.values[c.id] }
-func (c *distCtx[V, M]) SetValue(v V)                  { c.w.values[c.id] = v }
+func (c *distCtx[V, M]) Superstep() int                 { return c.superstep }
+func (c *distCtx[V, M]) ID() graph.VertexID             { return c.id }
+func (c *distCtx[V, M]) Value() V                       { return c.w.values[c.id] }
+func (c *distCtx[V, M]) SetValue(v V)                   { c.w.values[c.id] = v }
 func (c *distCtx[V, M]) OutNeighbors() []graph.VertexID { return c.w.g.OutNeighbors(c.id) }
-func (c *distCtx[V, M]) OutWeights() []float64         { return c.w.g.OutWeights(c.id) }
-func (c *distCtx[V, M]) VoteToHalt()                   { c.votedHalt = true }
-func (c *distCtx[V, M]) NumVertices() int              { return c.w.g.NumVertices() }
+func (c *distCtx[V, M]) OutWeights() []float64          { return c.w.g.OutWeights(c.id) }
+func (c *distCtx[V, M]) VoteToHalt()                    { c.votedHalt = true }
+func (c *distCtx[V, M]) NumVertices() int               { return c.w.g.NumVertices() }
 
 func (c *distCtx[V, M]) Send(dst graph.VertexID, m M) {
 	w := c.w
@@ -222,7 +222,14 @@ type workerRun[V, M any] struct {
 	stores [2]*msgstore.Store[M]
 	active atomic.Int32
 
-	buf      *msgstore.Buffer[M]
+	buf *msgstore.Buffer[M]
+	// spill is the bounded-memory staging tier for inbound remote batches
+	// (DESIGN.md §12), non-nil when Job.MsgMemoryBudget > 0: the pumps
+	// stage Data-frame batches here instead of applying them directly, and
+	// the superstep barrier drains the merge into the write store before
+	// the flip. Locally-delivered messages (same-process PutSlot) bypass
+	// it — they never occupy transport buffers.
+	spill    *msgstore.Spill[M]
 	peers    *peerSet
 	aggLocal map[string]float64
 	aggPrev  map[string]float64
@@ -285,6 +292,15 @@ func runWorker[V, M any](ctrl *frameConn, ln net.Listener, job Job, prog model.P
 		cluster.BatchHeaderBytes, cluster.EntryHeaderBytes, w.sendBatch)
 	if prog.Semantics == model.Combine && prog.Combine != nil {
 		w.buf.SetCombiner(prog.Combine)
+	}
+	if job.MsgMemoryBudget > 0 {
+		per := job.MsgMemoryBudget / int64(nw)
+		if per <= 0 {
+			per = job.MsgMemoryBudget
+		}
+		w.spill = msgstore.NewSpill[M](per, prog.MsgBytes,
+			cluster.BatchHeaderBytes, cluster.EntryHeaderBytes)
+		defer w.spill.Close()
 	}
 
 	w.peers, err = connectPeers(ln, me, nw, job.Peers)
@@ -360,7 +376,11 @@ func (w *workerRun[V, M]) pump(from int, fc *frameConn) {
 				w.failPump(fmt.Errorf("dist: decode batch from %d: %w", from, err))
 				return
 			}
-			w.writeStore().PutBatch(payload.([]msgstore.Entry[M]))
+			if w.spill != nil {
+				w.spill.Add(payload.([]msgstore.Entry[M]), w.writeStore())
+			} else {
+				w.writeStore().PutBatch(payload.([]msgstore.Entry[M]))
+			}
 		case cluster.FrameBarrier:
 			w.mu.Lock()
 			w.barriers++
@@ -466,6 +486,14 @@ func (w *workerRun[V, M]) superstep(ctrl *frameConn, ss wire.StepStart) error {
 		return err
 	}
 
+	// Every peer's barrier arrived, so all of superstep s's inbound data
+	// is staged; merge the spill tier into the write store before the
+	// flip (engine barrier order: drain, clear, flip).
+	if w.spill != nil {
+		if err := w.spill.Drain(w.writeStore()); err != nil {
+			return fmt.Errorf("dist: spill drain: %w", err)
+		}
+	}
 	// Engine barrier order: clear the consumed read store, flip, then
 	// count pending across both stores (Overwrite stores retain state in
 	// the read store too).

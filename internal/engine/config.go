@@ -240,6 +240,16 @@ type Config struct {
 	// it across runs or observe counters live while the run executes
 	// (Result.Metrics is a snapshot taken at the end either way).
 	Metrics *metrics.Registry
+	// MsgMemoryBudget, when > 0, bounds the message plane's memory
+	// (DESIGN.md §12). It has two effects: the transport's per-ordered-pair
+	// credit window is sized from it (bytes in flight block the sender once
+	// the window fills), and under BSP each worker's inbound write-store
+	// batches stage through a size-capped spill sink that appends overflow
+	// to a temp file in arrival order, replayed back into the write store
+	// at (or, with a spare CPU, ahead of) the superstep barrier. Zero (the
+	// default) leaves buffering unbounded with a generous default credit
+	// window; results are bitwise identical either way.
+	MsgMemoryBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -353,6 +363,11 @@ type Result struct {
 	// SuperstepStats holds per-superstep detail when
 	// Config.DetailedStats is set.
 	SuperstepStats []SuperstepStat
+	// CreditImbalances counts superstep barriers at which the transport's
+	// credit windows failed to reconcile (granted − released ≠ outstanding,
+	// or outstanding ≠ 0 at idle). Always zero on a correct run — the
+	// torture harness asserts it.
+	CreditImbalances int
 	// Metrics is the run's final metrics snapshot: counters, phase
 	// timings, and histograms (see internal/metrics for the taxonomy).
 	Metrics metrics.Snapshot

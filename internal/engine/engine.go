@@ -28,6 +28,14 @@ type runner[V, M any] struct {
 	tr   cluster.Transport
 	reg  *metrics.Registry
 
+	// flow is the transport's credit-window ledger (DESIGN.md §12): every
+	// data send acquires window bytes for its ordered pair and every
+	// delivery (or counted drop) releases them. Always armed — with no
+	// budget the window is the generous default and senders never block in
+	// practice, but the grant/release ledger still runs, so the barrier
+	// balance oracle has teeth on every run.
+	flow *cluster.Flow
+
 	workers []*worker[V, M]
 
 	// values is the primary copy of every vertex value; each slot is
@@ -199,6 +207,11 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	}
 	r.tr = tr
 	defer r.tr.Close()
+	r.flow = cluster.NewFlow(cfg.Workers, cluster.WindowForBudget(cfg.MsgMemoryBudget, cfg.Workers))
+	r.flow.SetMetrics(r.reg)
+	if ft, ok := tr.(interface{ SetFlow(*cluster.Flow) }); ok {
+		ft.SetFlow(r.flow)
+	}
 	r.recycleBatches = cfg.Fault == nil
 	if cfg.Fault != nil {
 		cfg.Fault.Attach(r.tr)
@@ -306,6 +319,12 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			res.WatchdogStalls++
 		}
 		r.tr.WaitIdle()
+		// With the transport idle every send has been delivered or counted
+		// dropped, so every acquired credit must be back: an imbalance here
+		// means the flow ledger leaked (the torture harness asserts zero).
+		if err := r.flow.CheckBalanced(); err != nil {
+			res.CreditImbalances++
+		}
 		// Superstep metrics are recorded before the failure check: a
 		// superstep a rollback later discards was still executed, so the
 		// supersteps counter can exceed Result.Supersteps on faulty runs.
@@ -375,8 +394,34 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 			r.aggAt[s] = merged
 		}
 		if cfg.Mode == BSP {
-			for _, w := range r.workers {
-				w.swapStores()
+			// Spilled runs merge into the write store before the swap: the
+			// next superstep's reads then see exactly what direct delivery
+			// would have put there (per-destination arrival order is
+			// preserved across runs; see msgstore.Spill). Each sink feeds
+			// only its own worker's store, so the drains run concurrently —
+			// serially they would put every worker's merge on the barrier's
+			// critical path.
+			drainErrs := make([]error, len(r.workers))
+			var drainWG sync.WaitGroup
+			for i, w := range r.workers {
+				if w.spill == nil {
+					w.swapStores()
+					continue
+				}
+				drainWG.Add(1)
+				go func() {
+					defer drainWG.Done()
+					if drainErrs[i] = w.spill.Drain(w.writeStore()); drainErrs[i] == nil {
+						w.swapStores()
+					}
+				}()
+			}
+			drainWG.Wait()
+			for _, err := range drainErrs {
+				if err != nil {
+					r.shutdownWorkers()
+					return nil, Result{}, nil, fmt.Errorf("engine: spill drain: %w", err)
+				}
 			}
 		}
 
@@ -585,6 +630,9 @@ func (r *runner[V, M]) applyMutations() error {
 func (r *runner[V, M]) shutdownWorkers() {
 	for _, w := range r.workers {
 		close(w.startCh)
+		if w.spill != nil {
+			w.spill.Close()
+		}
 	}
 }
 
@@ -722,6 +770,9 @@ func (r *runner[V, M]) rollback() (int, error) {
 	}
 	for _, w := range r.workers {
 		w.buf.Clear()
+		if w.spill != nil {
+			w.spill.Discard()
+		}
 		w.stores[0].Clear()
 		if w.stores[1] != nil {
 			w.stores[1].Clear()
@@ -740,6 +791,10 @@ func (r *runner[V, M]) rollback() (int, error) {
 			w.mgr.ClearAbort()
 		}
 	}
+	// The transport is idle and every store was just cleared, so zeroing
+	// the credit windows (and clearing any watchdog abort) restores the
+	// flow ledger's ground state for the replay.
+	r.flow.Reset()
 	resume := 0
 	var snap *checkpoint.Snapshot[V, M]
 	// Only generations this run has itself written are candidates: a
@@ -930,6 +985,11 @@ func (r *runner[V, M]) confinedRecover(res *Result, s int, dead []cluster.Worker
 		}
 		deadParts += len(w.parts)
 		w.buf.Clear()
+		if w.spill != nil {
+			// Batches staged from the discarded supersteps' arrivals are
+			// superseded by the log replay's re-injections.
+			w.spill.Discard()
+		}
 		w.stores[0].Clear()
 		if w.stores[1] != nil {
 			w.stores[1].Clear()
@@ -1043,6 +1103,15 @@ func (r *runner[V, M]) confinedRecover(res *Result, s int, dead []cluster.Worker
 					continue
 				}
 				if r.cfg.Mode == BSP {
+					if w.spill != nil {
+						// Replay arrivals staged through the sink merge in
+						// before the swap, mirroring the main loop.
+						if err := w.spill.Drain(w.writeStore()); err != nil {
+							r.replaying.Store(false)
+							r.replayDest = nil
+							return false, err
+						}
+					}
 					w.swapStores()
 				}
 				// The originals of these aggregates and mutation intents were
@@ -1165,6 +1234,9 @@ func (r *runner[V, M]) collectWorkers() bool {
 					w.mgr.Abort()
 				}
 			}
+			// Senders blocked awaiting credit would never reach the
+			// barrier either; wake them alongside the flush waits.
+			r.flow.Abort()
 		}
 	}
 	return fired

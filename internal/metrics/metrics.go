@@ -127,6 +127,13 @@ const (
 	// restore because their checksum or decode failed — the corruption
 	// fallback chain's activity.
 	CheckpointGensSkipped
+	// CreditWaitNs is total time senders spent blocked in the credit
+	// window's Acquire, waiting for the receiver to consume earlier data
+	// and return window bytes.
+	CreditWaitNs
+	// BytesSpilled counts message bytes written to the spill tier's run
+	// files when buffered messages exceeded Config.MsgMemoryBudget.
+	BytesSpilled
 	numCounters
 )
 
@@ -160,6 +167,8 @@ var counterNames = [numCounters]string{
 	"replay_batches_suppressed",
 	"watchdog_stalls",
 	"checkpoint_gens_skipped",
+	"credit_wait_ns",
+	"bytes_spilled",
 }
 
 // Name returns the stable JSON key of a counter.
@@ -228,6 +237,10 @@ const (
 	// HistBatchEntries is the distribution of remote batch sizes in
 	// entries — the buffer cache's effectiveness (§6.1).
 	HistBatchEntries
+	// HistBufferedBytes is the distribution of per-worker buffered message
+	// bytes sampled at every spill-tier admission; its Max is the run's
+	// peak buffered bytes, the number Config.MsgMemoryBudget bounds.
+	HistBufferedBytes
 	numHists
 )
 
@@ -235,6 +248,7 @@ var histNames = [numHists]string{
 	"lock_wait_ns",
 	"superstep_wall_ns",
 	"batch_entries",
+	"buffered_bytes",
 }
 
 // Name returns the stable JSON key of a histogram.

@@ -1,0 +1,550 @@
+package msgstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
+)
+
+// Spill is the overflow tier of the bounded-memory message plane
+// (DESIGN.md §12): a size-capped staging buffer for inbound BSP write-store
+// batches. While buffered bytes stay under the budget, entries accumulate
+// in memory exactly as they arrive. When an Add would exceed the budget,
+// the current buffer is appended — still in arrival order — to a single
+// spill file as one run; at the superstep barrier Drain replays the file
+// front to back and then the residual memory buffer, delivering everything
+// to the write store in bounded-size chunks.
+//
+// Correctness argument: runs are cut in arrival order and replayed in the
+// order they were written, with the residual buffer (the newest arrivals)
+// last, so the delivery stream reproduces the exact global arrival order —
+// not merely per-destination order. The store therefore ends in the
+// identical state direct PutBatch delivery would have produced, bitwise.
+// No sorting or merging is involved; the spill file is a plain FIFO
+// extension of the memory buffer.
+//
+// When Add is given a target store, a single replayer goroutine streams
+// completed runs into it while the superstep is still computing, so the
+// replay cost overlaps compute the same way direct delivery would, instead
+// of landing on the barrier's critical path. The replayer is strictly
+// sequential and nothing else writes the store while the sink is armed, so
+// the ordering argument is unchanged. Rollback stays safe because both
+// engine Discard sites clear the target stores wholesale right after.
+//
+// Spill is only used under BSP: deferring delivery to the barrier is
+// exactly what BSP does anyway (the write store is not read until the
+// swap). Async modes need same-superstep visibility and rely on the credit
+// window alone to bound buffering.
+type Spill[M any] struct {
+	mu     sync.Mutex
+	budget int64 // byte cap on the in-memory buffer; <=0 means unbounded
+	// per-entry and per-batch byte accounting, matching Buffer.batchBytes
+	// so budget and credit windows speak the same currency.
+	msgBytes, hdr, entryHdr int
+
+	// Staging. With the fixed-width codec entries stage pre-encoded in
+	// ebuf (Add encodes straight from the caller's batch, so a flush is a
+	// single write and nothing is re-walked); the gob fallback stages raw
+	// entries in buf and encodes at flush. bufBytes is the accounted byte
+	// count of whichever buffer is live — the currency the budget, credit
+	// windows, and HistBufferedBytes share.
+	buf      []Entry[M]
+	ebuf     []byte
+	bufBytes int64
+
+	dir string
+	// One append-only spill file per superstep cycle. cw counts bytes that
+	// reached the OS; safeLen is its value after the last fully-flushed
+	// run, so a failed append never exposes a partial run to Drain (the
+	// entries of a failed flush are still in buf — nothing is lost).
+	f       *os.File
+	cw      *countingWriter
+	w       *bufio.Writer
+	genc    *gob.Encoder // gob fallback; one stream per cycle
+	safeLen int64
+	runs    int
+	spilled int64
+
+	// Eager-replay state. target is the store runs stream into during the
+	// cycle (nil: replay happens in Drain); cond coordinates the flusher,
+	// the replayer goroutine, and Drain/Discard, all under mu.
+	cond      *sync.Cond
+	target    *Store[M]
+	replayer  bool  // replayer goroutine is live
+	closing   bool  // Drain/Discard in progress; replayer exits once caught up
+	readPos   int64 // file bytes already replayed this cycle
+	replayErr error // first read-side failure (data loss); surfaced by Drain
+
+	// spillErr records the first disk failure. Spilling degrades to
+	// keeping entries in memory (correct, just unbounded); Drain still
+	// delivers everything it can and returns an error only when data was
+	// actually lost (a read-side failure).
+	spillErr error
+
+	// binary selects the fixed-width codec for numeric message types
+	// (decided once from M at construction); other types fall back to gob.
+	binary bool
+
+	reg *metrics.Registry
+}
+
+// spillChunk is the entry count per encoded chunk inside the spill file.
+// Chunked encoding lets Drain stream the file with O(chunk) resident
+// entries instead of decoding whole runs.
+const spillChunk = 1024
+
+// spillBufSize is the bufio size on both sides of the spill file.
+const spillBufSize = 128 << 10
+
+// Raw spill-file format: a sequence of chunk frames, each
+// [u32 entry count][u32 payload bytes][payload], where the payload is the
+// chunk's []Entry[M] backing memory copied verbatim. The same process
+// writes and reads the file with the same concrete M, so struct layout,
+// endianness, and padding are self-consistent and the format needs no
+// version or type header. The raw copy is only used when M is a
+// fixed-width pointer-free kind (see rawCodecFor); everything else goes
+// through the gob fallback. This path exists because gob's reflection
+// costs roughly a microsecond per entry round-trip, which put spill
+// drains on the barrier's critical path; the raw codec is a memcpy.
+
+// rawEntryBytes reinterprets a chunk's backing array as bytes. Only legal
+// for M accepted by rawCodecFor (no pointers anywhere in Entry[M]).
+func rawEntryBytes[M any](chunk []Entry[M]) []byte {
+	if len(chunk) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&chunk[0])), len(chunk)*int(unsafe.Sizeof(chunk[0])))
+}
+
+// rawCodecFor reports whether M gets the raw run codec: a fixed-width
+// pointer-free message kind, making Entry[M] safe to byte-copy. Named
+// types over these kinds (and structs, slices, maps) fall back to gob.
+func rawCodecFor[M any]() bool {
+	var z M
+	switch any(z).(type) {
+	case float64, float32, int64, uint64, int, uint, int32, uint32,
+		int16, uint16, int8, uint8, bool, graph.VertexID:
+		return true
+	}
+	return false
+}
+
+// decodeEntries fills dst from one chunk payload. Returns false on a
+// size mismatch (treated as file corruption by the caller).
+func decodeEntries[M any](dst []Entry[M], b []byte) bool {
+	if len(dst) == 0 {
+		return len(b) == 0
+	}
+	raw := rawEntryBytes(dst)
+	if len(b) != len(raw) {
+		return false
+	}
+	copy(raw, b)
+	return true
+}
+
+// countingWriter tracks bytes that have been handed to the underlying
+// file, so safeLen can mark run boundaries that are fully on disk.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NewSpill creates a spill sink. budget caps in-memory buffered bytes
+// (<= 0 disables spilling: everything stays in memory until Drain).
+// msgBytes, batchHeader and entryHeader mirror the Buffer sizing
+// convention so both tiers account bytes identically.
+func NewSpill[M any](budget int64, msgBytes, batchHeader, entryHeader int) *Spill[M] {
+	s := &Spill[M]{budget: budget, msgBytes: msgBytes, hdr: batchHeader, entryHdr: entryHeader,
+		binary: rawCodecFor[M]()}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetMetrics attaches a metrics registry: BytesSpilled counts run bytes
+// written to disk, HistBufferedBytes samples the buffer size after every
+// Add (its Max is the run's peak buffered bytes).
+func (s *Spill[M]) SetMetrics(reg *metrics.Registry) { s.reg = reg }
+
+func (s *Spill[M]) batchBytes(n int) int64 {
+	return int64(s.hdr + n*(s.entryHdr+s.msgBytes))
+}
+
+// Add stages one inbound batch. The caller keeps ownership of batch
+// (entries are copied in). When admitting the batch would push the buffer
+// past the budget, the current buffer is flushed to a run first, so
+// buffered bytes never exceed max(budget, one batch). A non-nil target
+// enables eager replay: completed runs stream into target during the
+// superstep; it must be the same store later passed to Drain, and must
+// not be written by anyone else while the sink is armed. Safe for
+// concurrent use.
+func (s *Spill[M]) Add(batch []Entry[M], target *Store[M]) {
+	if len(batch) == 0 {
+		return
+	}
+	bytes := s.batchBytes(len(batch))
+	s.mu.Lock()
+	s.target = target
+	if s.budget > 0 && s.bufBytes > 0 && s.bufBytes+bytes > s.budget && s.spillErr == nil {
+		if err := s.flushRunLocked(); err != nil {
+			s.spillErr = err // degrade: keep buffering in memory
+		}
+	}
+	if s.binary {
+		// Stage pre-encoded: one chunk frame per batch, payload memcpy'd in.
+		hdrPos := len(s.ebuf)
+		s.ebuf = append(s.ebuf, 0, 0, 0, 0, 0, 0, 0, 0)
+		s.ebuf = append(s.ebuf, rawEntryBytes(batch)...)
+		binary.LittleEndian.PutUint32(s.ebuf[hdrPos:], uint32(len(batch)))
+		binary.LittleEndian.PutUint32(s.ebuf[hdrPos+4:], uint32(len(s.ebuf)-hdrPos-8))
+	} else {
+		s.buf = append(s.buf, batch...)
+	}
+	s.bufBytes += bytes
+	if s.reg != nil {
+		s.reg.Observe(metrics.HistBufferedBytes, s.bufBytes)
+	}
+	s.mu.Unlock()
+}
+
+// flushRunLocked appends the current staging buffer to the spill file as
+// one run, in arrival order. On error the buffer is left intact (nothing
+// is lost) and safeLen still marks the last complete run, so replay
+// ignores any partially-written tail. Caller holds s.mu.
+func (s *Spill[M]) flushRunLocked() error {
+	if s.bufBytes == 0 {
+		return nil
+	}
+	if s.f == nil {
+		if s.dir == "" {
+			dir, err := os.MkdirTemp("", "serialgraph-spill-")
+			if err != nil {
+				return err
+			}
+			s.dir = dir
+		}
+		f, err := os.Create(filepath.Join(s.dir, "spill.bin"))
+		if err != nil {
+			return err
+		}
+		s.f = f
+		s.cw = &countingWriter{w: f}
+		if !s.binary {
+			s.w = bufio.NewWriterSize(s.cw, spillBufSize)
+		}
+		s.genc = nil
+		s.safeLen = 0
+	}
+	if s.binary {
+		// The staging buffer is already in file format: one write call.
+		if _, err := s.cw.Write(s.ebuf); err != nil {
+			return err
+		}
+		s.ebuf = s.ebuf[:0]
+	} else {
+		if s.genc == nil {
+			s.genc = gob.NewEncoder(s.w)
+		}
+		var werr error
+		for off := 0; off < len(s.buf) && werr == nil; off += spillChunk {
+			end := min(off+spillChunk, len(s.buf))
+			werr = s.genc.Encode(s.buf[off:end])
+		}
+		if werr == nil {
+			werr = s.w.Flush()
+		}
+		if werr != nil {
+			return werr
+		}
+		s.buf = s.buf[:0]
+	}
+	s.safeLen = s.cw.n
+	s.runs++
+	s.spilled += s.bufBytes
+	if s.reg != nil {
+		s.reg.Add(metrics.BytesSpilled, s.bufBytes)
+	}
+	s.bufBytes = 0
+	// Eager replay only pays off with a spare CPU to run on; on a single
+	// processor it just steals cycles from compute, so the file is
+	// replayed at Drain instead.
+	if s.target != nil && s.binary && !s.replayer && runtime.GOMAXPROCS(0) > 1 {
+		s.replayer = true
+		go s.replayLoop(s.f.Name())
+	}
+	s.cond.Broadcast() // new run available for the replayer
+	return nil
+}
+
+// replayScratch holds the reusable decode buffer of one replay stream.
+type replayScratch[M any] struct {
+	chunk []Entry[M]
+}
+
+// replayChunks streams fixed-width or gob chunks from r into store until
+// EOF. gob streams are only replayed whole (one encoder per cycle), so the
+// gob branch is only reached with r covering the full file.
+func (s *Spill[M]) replayChunks(r io.Reader, store *Store[M], sc *replayScratch[M]) error {
+	br := bufio.NewReaderSize(r, spillBufSize)
+	if !s.binary {
+		dec := gob.NewDecoder(br)
+		for {
+			sc.chunk = sc.chunk[:0]
+			if err := dec.Decode(&sc.chunk); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+			store.PutBatch(sc.chunk)
+		}
+	}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		count := int(binary.LittleEndian.Uint32(hdr[0:]))
+		nbytes := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if cap(sc.chunk) < count {
+			sc.chunk = make([]Entry[M], count)
+		}
+		sc.chunk = sc.chunk[:count]
+		raw := rawEntryBytes(sc.chunk)
+		if nbytes != len(raw) {
+			return fmt.Errorf("msgstore: spill chunk corrupt (%d entries, %d bytes)", count, nbytes)
+		}
+		// Read the payload straight into the entry slice's backing memory —
+		// the payload is that memory's file image, so no decode step exists.
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return err
+		}
+		store.PutBatch(sc.chunk)
+	}
+}
+
+// replayLoop is the eager replayer: it follows safeLen through the cycle,
+// streaming each completed run into the target store, and exits once
+// Drain/Discard marks the cycle closing and it has caught up (or on the
+// first read error). It reads through its own descriptor; flushed bytes
+// below safeLen are never rewritten, so reading outside mu is safe. With
+// the gob fallback the stream is one encoder per cycle and cannot be
+// decoded in segments, so eager replay only engages for the binary codec
+// (Drain replays gob files whole).
+func (s *Spill[M]) replayLoop(path string) {
+	rf, err := os.Open(path)
+	if err != nil {
+		s.mu.Lock()
+		s.replayErr = err
+		s.replayer = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	defer rf.Close()
+	var sc replayScratch[M]
+	s.mu.Lock()
+	for {
+		for s.readPos == s.safeLen && !s.closing {
+			s.cond.Wait()
+		}
+		if s.readPos == s.safeLen { // closing and caught up
+			break
+		}
+		start, span, target := s.readPos, s.safeLen, s.target
+		s.mu.Unlock()
+		err := s.replayChunks(io.NewSectionReader(rf, start, span-start), target, &sc)
+		s.mu.Lock()
+		if err != nil {
+			s.replayErr = err
+			break
+		}
+		s.readPos = span
+		s.cond.Broadcast()
+	}
+	s.replayer = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain delivers everything staged — the spill file replayed front to
+// back, then the residual memory buffer — into store via chunked
+// PutBatch, then resets the sink for the next superstep. Because runs are
+// cut and replayed in arrival order with the residual last, the delivery
+// stream is byte-for-byte the original arrival stream, making every
+// budget (including none) identical to direct delivery. When the eager
+// replayer is live, Drain just waits for it to finish the file; the file
+// replay then already happened during the superstep. Not safe
+// concurrently with Add; the engine calls it at the superstep barrier,
+// after WaitIdle.
+func (s *Spill[M]) Drain(store *Store[M]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.joinReplayerLocked()
+	readErr := s.replayErr
+	if readErr == nil && s.runs > 0 && s.safeLen > s.readPos {
+		// No replayer ran (nil target, 1 CPU, or gob codec): replay inline.
+		readErr = s.replayFileLocked(store)
+	}
+	// The residual buffer holds the newest arrivals (plus anything a
+	// failed flush kept in memory); it always follows the file.
+	if s.binary {
+		if err := s.deliverEncodedLocked(store); err != nil && readErr == nil {
+			readErr = err
+		}
+	} else {
+		for off := 0; off < len(s.buf); off += spillChunk {
+			end := min(off+spillChunk, len(s.buf))
+			store.PutBatch(s.buf[off:end])
+		}
+	}
+	s.resetLocked()
+	return readErr
+}
+
+// deliverEncodedLocked decodes the pre-encoded residual staging buffer
+// straight from memory (no file round trip) into store. Caller holds
+// s.mu.
+func (s *Spill[M]) deliverEncodedLocked(store *Store[M]) error {
+	var sc replayScratch[M]
+	b := s.ebuf
+	for len(b) > 0 {
+		if len(b) < 8 {
+			return fmt.Errorf("msgstore: spill staging buffer corrupt (%d trailing bytes)", len(b))
+		}
+		count := int(binary.LittleEndian.Uint32(b[0:]))
+		nbytes := int(binary.LittleEndian.Uint32(b[4:]))
+		if len(b) < 8+nbytes {
+			return fmt.Errorf("msgstore: spill staging buffer corrupt (chunk of %d bytes, %d left)", nbytes, len(b)-8)
+		}
+		if cap(sc.chunk) < count {
+			sc.chunk = make([]Entry[M], count)
+		}
+		sc.chunk = sc.chunk[:count]
+		if !decodeEntries(sc.chunk, b[8:8+nbytes]) {
+			return fmt.Errorf("msgstore: spill staging chunk corrupt (%d entries, %d bytes)", count, nbytes)
+		}
+		store.PutBatch(sc.chunk)
+		b = b[8+nbytes:]
+	}
+	return nil
+}
+
+// joinReplayerLocked marks the cycle closing and waits for the eager
+// replayer (if live) to catch up with the file and exit. Caller holds
+// s.mu.
+func (s *Spill[M]) joinReplayerLocked() {
+	s.closing = true
+	s.cond.Broadcast()
+	for s.replayer {
+		s.cond.Wait()
+	}
+}
+
+// replayFileLocked streams the spill file's complete runs (beyond
+// readPos) back into the store in write order. Caller holds s.mu; only
+// reached when no replayer goroutine is live.
+func (s *Spill[M]) replayFileLocked(store *Store[M]) error {
+	rf, err := os.Open(s.f.Name())
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	var sc replayScratch[M]
+	return s.replayChunks(io.NewSectionReader(rf, s.readPos, s.safeLen-s.readPos), store, &sc)
+}
+
+// Discard drops everything staged without delivering it. The engine calls
+// it on rollback: staged messages belong to the aborted superstep. Runs
+// the eager replayer already delivered are wiped when the caller clears
+// the target store, which both rollback paths do immediately after.
+func (s *Spill[M]) Discard() {
+	s.mu.Lock()
+	s.joinReplayerLocked()
+	s.resetLocked()
+	s.mu.Unlock()
+}
+
+// resetLocked clears the buffer and removes the spill file. Caller holds
+// s.mu and has joined the replayer. The buffer keeps its capacity
+// (bounded by the budget) for the next superstep.
+func (s *Spill[M]) resetLocked() {
+	if s.f != nil {
+		path := s.f.Name()
+		s.f.Close()
+		os.Remove(path)
+		s.f, s.cw, s.w, s.genc = nil, nil, nil, nil
+	}
+	s.safeLen = 0
+	s.runs = 0
+	s.buf = s.buf[:0]
+	s.ebuf = s.ebuf[:0]
+	s.bufBytes = 0
+	s.target = nil
+	s.closing = false
+	s.readPos = 0
+	s.replayErr = nil
+}
+
+// Close removes the temp directory. Call once the sink is permanently done.
+func (s *Spill[M]) Close() {
+	s.mu.Lock()
+	s.joinReplayerLocked()
+	s.resetLocked()
+	s.buf, s.ebuf = nil, nil
+	if s.dir != "" {
+		os.RemoveAll(s.dir)
+		s.dir = ""
+	}
+	s.mu.Unlock()
+}
+
+// BufferedBytes returns the current in-memory staged byte count.
+func (s *Spill[M]) BufferedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bufBytes
+}
+
+// SpilledBytes returns the total bytes written to disk runs so far.
+func (s *Spill[M]) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled
+}
+
+// Err returns the first disk-write failure, if any. A non-nil Err means
+// the sink degraded to unbounded in-memory buffering at some point;
+// delivered results are still correct.
+func (s *Spill[M]) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillErr
+}
+
+// Runs returns the number of runs appended to the spill file in the
+// current superstep cycle (for tests).
+func (s *Spill[M]) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}

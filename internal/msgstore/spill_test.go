@@ -1,0 +1,293 @@
+package msgstore
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"serialgraph/internal/graph"
+	"serialgraph/internal/metrics"
+	"serialgraph/internal/model"
+)
+
+// spill test sizing: msgBytes=8, batchHeader=32, entryHeader=8, matching
+// the buffer tests, so one n-entry batch costs 32 + 16n bytes.
+func newTestSpill(budget int64) *Spill[int] { return NewSpill[int](budget, 8, 32, 8) }
+
+func spillBatch(n, base int) []Entry[int] {
+	out := make([]Entry[int], n)
+	for i := range out {
+		out[i] = Entry[int]{Dst: graph.VertexID(i % 4), Src: -1, Msg: base + i}
+	}
+	return out
+}
+
+func TestSpillNoBudgetStaysInMemory(t *testing.T) {
+	s := newTestSpill(0)
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Add(spillBatch(10, i*10), nil)
+	}
+	if s.Runs() != 0 || s.SpilledBytes() != 0 {
+		t.Fatalf("unbudgeted sink spilled: runs=%d bytes=%d", s.Runs(), s.SpilledBytes())
+	}
+	g := graph.NewBuilder(4).Build()
+	st := New[int](g, all(4), model.Queue, nil)
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Dump()); n != 500 {
+		t.Fatalf("drained %d entries, want 500", n)
+	}
+	if s.BufferedBytes() != 0 {
+		t.Error("buffer not reset after drain")
+	}
+}
+
+// TestSpillCapEnforcement is the budget invariant: buffered bytes never
+// exceed the budget as long as no single batch does, and everything
+// displaced lands on disk with matching byte accounting in the metrics
+// registry.
+func TestSpillCapEnforcement(t *testing.T) {
+	const batchEntries = 10
+	batchBytes := int64(32 + batchEntries*16)
+	budget := 3 * batchBytes
+	s := newTestSpill(budget)
+	defer s.Close()
+	reg := metrics.New()
+	s.SetMetrics(reg)
+
+	for i := 0; i < 40; i++ {
+		s.Add(spillBatch(batchEntries, i*batchEntries), nil)
+		if got := s.BufferedBytes(); got > budget {
+			t.Fatalf("after add %d: buffered %d > budget %d", i, got, budget)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("budget overflow never spilled a run")
+	}
+	if s.SpilledBytes() == 0 {
+		t.Fatal("SpilledBytes zero despite runs on disk")
+	}
+	if got := reg.Get(metrics.BytesSpilled); got != s.SpilledBytes() {
+		t.Errorf("metrics bytes_spilled = %d, sink says %d", got, s.SpilledBytes())
+	}
+	snap := reg.Snapshot()
+	if peak := snap.Hists[metrics.HistBufferedBytes].Max; peak > budget {
+		t.Errorf("peak buffered bytes %d exceeds budget %d", peak, budget)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("spill degraded: %v", err)
+	}
+
+	g := graph.NewBuilder(4).Build()
+	st := New[int](g, all(4), model.Queue, nil)
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Dump()); n != 40*batchEntries {
+		t.Fatalf("drained %d entries, want %d", n, 40*batchEntries)
+	}
+}
+
+// TestSpillOversizedBatchAdmitted: a batch bigger than the whole budget is
+// still admitted (peak = that one batch) rather than deadlocking.
+func TestSpillOversizedBatchAdmitted(t *testing.T) {
+	s := newTestSpill(64)
+	defer s.Close()
+	big := spillBatch(100, 0) // 32 + 1600 bytes >> 64
+	s.Add(big, nil)
+	if s.BufferedBytes() == 0 {
+		t.Fatal("oversized batch rejected")
+	}
+	s.Add(spillBatch(2, 200), nil) // forces the big buffer to a run first
+	if s.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", s.Runs())
+	}
+}
+
+// denseGraph builds a graph where every vertex has every other vertex as
+// an in-neighbor, so Overwrite-mode entries can use arbitrary (src, dst)
+// pairs.
+func denseGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestSpillMergeEquivalence is the spill tier's core correctness claim:
+// for every store semantics, delivering a batch stream through a
+// tiny-budget spill (forcing many run cuts and a file replay) leaves the
+// store in exactly the state direct PutBatch delivery would have — both
+// with the replay deferred to Drain (lazy) and with the eager replayer
+// streaming runs into the store during the "superstep" (eager).
+func TestSpillMergeEquivalence(t *testing.T) {
+	const nv = 16
+	g := denseGraph(nv)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		kind    model.Semantics
+		combine func(a, b int) int
+	}{
+		{"queue", model.Queue, nil},
+		{"combine", model.Combine, min},
+		{"overwrite", model.Overwrite, nil},
+	}
+	for _, tc := range cases {
+		for _, eager := range []bool{false, true} {
+			name := tc.name + "/lazy"
+			if eager {
+				name = tc.name + "/eager"
+			}
+			t.Run(name, func(t *testing.T) {
+				if eager {
+					// The eager replayer only arms with a spare CPU; force
+					// it on so the path is covered on single-core hosts too.
+					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+				}
+				rng := rand.New(rand.NewSource(7))
+				direct := New[int](g, all(nv), tc.kind, tc.combine)
+				spilled := New[int](g, all(nv), tc.kind, tc.combine)
+				s := NewSpill[int](128, 8, 32, 8) // tiny: many runs
+				defer s.Close()
+
+				for b := 0; b < 60; b++ {
+					n := 1 + rng.Intn(7)
+					batch := make([]Entry[int], n)
+					for i := range batch {
+						dst := graph.VertexID(rng.Intn(nv))
+						src := graph.VertexID(rng.Intn(nv))
+						if src == dst {
+							src = (src + 1) % nv
+						}
+						batch[i] = Entry[int]{Dst: dst, Src: src, Msg: rng.Intn(1000), Ver: uint32(rng.Intn(10))}
+					}
+					direct.PutBatch(batch)
+					if eager {
+						s.Add(batch, spilled)
+					} else {
+						s.Add(batch, nil)
+					}
+				}
+				if s.Runs() < 2 {
+					t.Fatalf("only %d runs; budget not tight enough to exercise the replay", s.Runs())
+				}
+				if err := s.Drain(spilled); err != nil {
+					t.Fatal(err)
+				}
+				want, got := direct.Dump(), spilled.Dump()
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("spilled store diverges from direct delivery:\nwant %v\ngot  %v", want, got)
+				}
+				if direct.NewCount() != spilled.NewCount() {
+					t.Errorf("NewCount: direct %d, spilled %d", direct.NewCount(), spilled.NewCount())
+				}
+			})
+		}
+	}
+}
+
+// TestSpillDrainResets: a second superstep reuses the sink cleanly.
+func TestSpillDrainResets(t *testing.T) {
+	g := graph.NewBuilder(4).Build()
+	s := newTestSpill(64)
+	defer s.Close()
+	st := New[int](g, all(4), model.Queue, nil)
+	s.Add(spillBatch(10, 0), nil)
+	s.Add(spillBatch(10, 10), nil)
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs() != 0 || s.BufferedBytes() != 0 {
+		t.Fatal("drain did not reset sink")
+	}
+	st.Clear()
+	s.Add(spillBatch(5, 100), nil)
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Dump()); n != 5 {
+		t.Fatalf("second superstep drained %d entries, want 5", n)
+	}
+}
+
+// TestSpillDiscard: rollback drops staged messages and their run files.
+func TestSpillDiscard(t *testing.T) {
+	g := graph.NewBuilder(4).Build()
+	s := newTestSpill(64)
+	s.Add(spillBatch(10, 0), nil)
+	s.Add(spillBatch(10, 10), nil)
+	if s.Runs() == 0 {
+		t.Fatal("setup: nothing spilled")
+	}
+	dir := s.dir
+	s.Discard()
+	if s.Runs() != 0 || s.BufferedBytes() != 0 {
+		t.Fatal("discard left staged state")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("discard left %d run files", len(ents))
+	}
+	st := New[int](g, all(4), model.Queue, nil)
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NewCount() != 0 {
+		t.Error("discarded messages leaked into the store")
+	}
+	s.Close()
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("Close left temp dir %s", dir)
+	}
+}
+
+// TestSpillConcurrentAdd: multiple appliers feed one sink concurrently
+// (as the transport's delivery goroutines do) while the eager replayer
+// streams finished runs into the store; nothing is lost.
+func TestSpillConcurrentAdd(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2)) // arm the eager replayer
+	g := graph.NewBuilder(8).Build()
+	s := newTestSpill(256)
+	defer s.Close()
+	st := New[int](g, all(8), model.Queue, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				batch := make([]Entry[int], 4)
+				for k := range batch {
+					batch[k] = Entry[int]{Dst: graph.VertexID((w + k) % 8), Src: -1, Msg: w*1000 + i}
+				}
+				s.Add(batch, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Drain(st); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Dump()); n != 8*50*4 {
+		t.Fatalf("drained %d entries, want %d", n, 8*50*4)
+	}
+}

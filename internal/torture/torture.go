@@ -90,6 +90,13 @@ type Scenario struct {
 	// promises serializability.
 	BreakProtocol bool
 
+	// MsgBudget bounds message-plane memory (engine.Config.MsgMemoryBudget):
+	// zero leaves it unbounded, a tiny value shrinks the credit windows to
+	// their floor and forces the BSP spill tier to cut runs constantly.
+	// Orthogonal to every compatibility rule — results and oracles are
+	// budget-independent by design, which sweeping it here proves.
+	MsgBudget int64
+
 	MaxSupersteps int
 }
 
@@ -98,9 +105,9 @@ func (sc Scenario) String() string {
 	if sc.Fault != nil {
 		f = sc.Fault.String()
 	}
-	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v transport=%v ckpt=%d fault=%s recovery=%v broken=%v",
+	return fmt.Sprintf("seed=%#x shape=%s n=%d alg=%s workers=%d parts=%d threads=%d partitioner=%s mode=%v sync=%v transport=%v ckpt=%d fault=%s recovery=%v broken=%v budget=%d",
 		sc.Seed, sc.Shape, sc.N, sc.Algorithm, sc.Workers, sc.PartsPerWorker,
-		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.Transport, sc.CheckpointEvery, f, sc.Recovery, sc.BreakProtocol)
+		sc.Threads, sc.Partitioner, sc.Mode, sc.Sync, sc.Transport, sc.CheckpointEvery, f, sc.Recovery, sc.BreakProtocol, sc.MsgBudget)
 }
 
 // mix64 is the splitmix64 finalizer, the same mixer hash partitioning uses.
@@ -216,6 +223,13 @@ func Sample(seed uint64) Scenario {
 	if r.Intn(4) == 0 {
 		sc.Transport = engine.TransportTCP
 	}
+	// Message-plane budget is the latest draw of all, after everything
+	// older seeds decoded. A quarter of cases run with a deliberately tiny
+	// budget — small enough that under BSP nearly every superstep spills —
+	// sweeping the bounded-memory plane through the same oracle set.
+	if r.Intn(4) == 0 {
+		sc.MsgBudget = int64(256 + r.Intn(4096))
+	}
 	return sc
 }
 
@@ -299,6 +313,7 @@ func buildConfig(sc Scenario, ckptDir string) engine.Config {
 		DisableHaltedPartitionSkip: sc.DisableHaltedSkip,
 		Recovery:                   sc.Recovery,
 		TrackHistory:               sc.serializabilityPromised() && !sc.lossy(),
+		MsgMemoryBudget:            sc.MsgBudget,
 		// An external registry, so checkMetrics can re-snapshot it after the
 		// run and verify Result.Metrics is a true immutable copy.
 		Metrics: metrics.New(),
@@ -396,6 +411,14 @@ func checkCommon(sc Scenario, cfg engine.Config, g *graph.Graph, res engine.Resu
 	}
 	if res.Executions <= 0 {
 		errs = append(errs, errors.New("invariant: zero vertex executions"))
+	}
+	// Credit conservation: the engine reconciles every ordered worker
+	// pair's window at every barrier (granted == consumed, nothing
+	// outstanding); any imbalance means bytes were acquired and never
+	// released or vice versa. This must hold on every run — faulty,
+	// budgeted, or not — because every drop/abort path releases.
+	if res.CreditImbalances != 0 {
+		errs = append(errs, fmt.Errorf("flow: %d barriers saw unbalanced credit windows", res.CreditImbalances))
 	}
 
 	if cfg.TrackHistory && rec != nil {
@@ -516,6 +539,14 @@ func checkMetrics(cfg engine.Config, res engine.Result) []error {
 	}
 	if got, want := m.Hist(metrics.HistBatchEntries).Count, batches; got != want {
 		errs = append(errs, fmt.Errorf("metrics: batch_entries hist count = %d, remote_batches = %d", got, want))
+	}
+
+	// Spill accounting: the spill tier is armed only under BSP with a
+	// budget set, so every other configuration must report zero bytes
+	// spilled; and a sender only waited on credit if a window existed.
+	if spilled := m.Get(metrics.BytesSpilled); spilled != 0 && (cfg.MsgMemoryBudget == 0 || cfg.Mode != engine.BSP) {
+		errs = append(errs, fmt.Errorf("metrics: bytes_spilled = %d on a configuration with no spill tier (budget=%d mode=%v)",
+			spilled, cfg.MsgMemoryBudget, cfg.Mode))
 	}
 
 	// Sync-technique ledgers mirror the Result's own coordination counts.

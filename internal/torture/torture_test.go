@@ -25,7 +25,21 @@ var (
 		"root seed the sweep derives its case seeds from")
 	flagFaulty = flag.Bool("torture.faulty", false,
 		"fault-plan sweep: count only cases whose plan schedules a crash toward -torture.n (other cases are skipped, keeping seeds replayable)")
+	flagTinyBudget = flag.Bool("torture.tinybudget", false,
+		"force a tiny message-plane memory budget on every case (nightly bounded-memory row; replay failures with the same flag plus -torture.seed)")
 )
+
+// applyTinyBudget pins the scenario's budget to a small sampled-looking
+// value when -torture.tinybudget is set, so the whole sweep runs with
+// credit windows at the floor and the BSP spill tier constantly cutting
+// runs. The override is flag-derived, not seed-derived, so replaying a
+// failure needs the same flag.
+func applyTinyBudget(sc Scenario) Scenario {
+	if *flagTinyBudget && sc.MsgBudget == 0 {
+		sc.MsgBudget = 512
+	}
+	return sc
+}
 
 // waitGoroutines polls until the goroutine count drops back to the
 // baseline (plus a little slack for runtime bookkeeping), failing the
@@ -63,7 +77,7 @@ func failCase(t *testing.T, sc Scenario, err error, scratch string) {
 // oracle to each case. With -torture.seed it replays exactly one case.
 func TestTorture(t *testing.T) {
 	if *flagSeed != 0 {
-		sc := Sample(*flagSeed)
+		sc := applyTinyBudget(Sample(*flagSeed))
 		if sc.Transport == engine.TransportTCP && !LoopbackAvailable() {
 			t.Skipf("seed %#x needs TCP loopback, unavailable here", sc.Seed)
 		}
@@ -85,7 +99,7 @@ func TestTorture(t *testing.T) {
 	ran := 0
 	for i := 0; ran < n; i++ {
 		seed := CaseSeed(*flagRoot, i)
-		sc := Sample(seed)
+		sc := applyTinyBudget(Sample(seed))
 		if *flagFaulty && (sc.Fault == nil || len(sc.Fault.Crashes) == 0) {
 			// The fault-plan sweep spends its case budget only on crash
 			// scenarios; skipping (rather than resampling) keeps every

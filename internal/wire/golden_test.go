@@ -81,13 +81,15 @@ func goldenCases(t testing.TB) []goldenCase {
 	token := chandy.Ctrl{Kind: chandy.TokenMsg, From: 0, To: 1}
 	flush := cluster.FlushMarker{Seq: 12345}
 	ack := cluster.AckMsg{Seq: 12345}
+	credit := cluster.CreditGrant{Bytes: 4096}
 
 	hello := Hello{Version: cluster.ProtocolVersion, Worker: 1, Addr: "127.0.0.1:40001"}
 	job := Job{
 		Alg: "sssp", Family: "powerlaw", N: 80, Undirected: false,
 		Workers: 2, PartsPerWorker: 2, MaxSupersteps: 200,
 		Seed: 1131, Source: 0, Eps: 0.05, You: 1,
-		Peers: []string{"127.0.0.1:40000", "127.0.0.1:40001"},
+		Peers:           []string{"127.0.0.1:40000", "127.0.0.1:40001"},
+		MsgMemoryBudget: 1 << 20,
 	}
 	stepStart := StepStart{Superstep: 3, AggKeys: []string{"pr:delta", "pr:sum"}, AggVals: []float64{0.125, 1}}
 	stepDone := StepDone{
@@ -174,6 +176,13 @@ func goldenCases(t testing.TB) []goldenCase {
 			name:   "ack",
 			frame:  encodeFrame(t, c64, ack, cluster.Frame{From: 2, To: 0, Declared: 16}),
 			verify: verifyPayload(c64, ack),
+		},
+		{
+			// Credit frames flow receiver→sender (here worker 1 returning
+			// window to worker 0) with no declared size of their own.
+			name:   "credit",
+			frame:  encodeFrame(t, c64, credit, cluster.Frame{From: 1, To: 0}),
+			verify: verifyPayload(c64, credit),
 		},
 		{
 			name:  "hello",
@@ -339,7 +348,7 @@ func TestGoldenFrames(t *testing.T) {
 	}
 	for _, ft := range []byte{
 		cluster.FrameData, cluster.FrameCtrl, cluster.FrameFlush, cluster.FrameAck,
-		cluster.FrameHello, cluster.FrameJob, cluster.FrameStepStart,
+		cluster.FrameCredit, cluster.FrameHello, cluster.FrameJob, cluster.FrameStepStart,
 		cluster.FrameStepDone, cluster.FrameBarrier, cluster.FrameValues,
 		cluster.FrameFinish,
 	} {

@@ -41,6 +41,9 @@ type Job struct {
 	Eps            float64 // PageRank tolerance
 	You            int32   // the recipient's worker ID
 	Peers          []string // data-plane addresses indexed by worker ID
+	// MsgMemoryBudget bounds each worker process's buffered inbound
+	// message bytes (0 = unbounded); overflow spills to disk.
+	MsgMemoryBudget int64
 }
 
 // StepStart dispatches one superstep with the previous step's merged
@@ -230,7 +233,7 @@ func AppendJob(dst []byte, j Job) []byte {
 	for _, p := range j.Peers {
 		dst = appendString(dst, p)
 	}
-	return dst
+	return cluster.AppendZigzag(dst, j.MsgMemoryBudget)
 }
 
 // DecodeJob parses a Job payload.
@@ -291,6 +294,9 @@ func DecodeJob(b []byte) (Job, error) {
 			return j, err
 		}
 		j.Peers = append(j.Peers, p)
+	}
+	if j.MsgMemoryBudget, b, err = readZigzag64(b); err != nil {
+		return j, err
 	}
 	if len(b) != 0 {
 		return j, fmt.Errorf("%w: trailing bytes after job", ErrCorrupt)

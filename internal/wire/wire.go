@@ -253,6 +253,11 @@ func (c *Codec[M]) EncodePayload(payload any, dst []byte) (byte, []byte, error) 
 		return cluster.FrameFlush, binary.AppendUvarint(dst, p.Seq), nil
 	case cluster.AckMsg:
 		return cluster.FrameAck, binary.AppendUvarint(dst, p.Seq), nil
+	case cluster.CreditGrant:
+		if p.Bytes < 0 {
+			return 0, nil, fmt.Errorf("wire: negative credit grant %d", p.Bytes)
+		}
+		return cluster.FrameCredit, binary.AppendUvarint(dst, uint64(p.Bytes)), nil
 	}
 	return 0, nil, fmt.Errorf("wire: no encoding for payload type %T", payload)
 }
@@ -358,6 +363,12 @@ func (c *Codec[M]) DecodePayload(ftype byte, b []byte) (any, error) {
 			return nil, ErrCorrupt
 		}
 		return cluster.AckMsg{Seq: seq}, nil
+	case cluster.FrameCredit:
+		v, n := binary.Uvarint(b)
+		if n <= 0 || n != len(b) || v > math.MaxInt64 {
+			return nil, ErrCorrupt
+		}
+		return cluster.CreditGrant{Bytes: int64(v)}, nil
 	}
 	return nil, fmt.Errorf("%w: unknown frame type 0x%02x", ErrCorrupt, ftype)
 }

@@ -178,8 +178,9 @@ func TestDecodeAllocationGuards(t *testing.T) {
 		t.Fatal("huge aggregate count accepted")
 	}
 	job := AppendJob(nil, Job{Alg: "sssp"})
-	// Clobber the peer count (last varint) with a huge one.
-	if _, err := DecodeJob(append(job[:len(job)-1], hugeCount(huge)...)); err == nil {
+	// Clobber the peer count (second-to-last varint: the trailing byte is
+	// the message-memory budget) with a huge one.
+	if _, err := DecodeJob(append(job[:len(job)-2], hugeCount(huge)...)); err == nil {
 		t.Fatal("huge peer count accepted")
 	}
 }

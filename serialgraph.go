@@ -258,6 +258,13 @@ type Options struct {
 	// counts, phase timers) in Result.SuperstepStats. Costs one metrics
 	// snapshot per superstep; Result.Metrics is populated regardless.
 	DetailedStats bool
+	// MsgMemoryBudget, when > 0, bounds the message plane's buffered bytes:
+	// the transport's per-ordered-pair credit windows are sized from it, and
+	// under the BSP model inbound batches overflow to sorted on-disk runs
+	// past the budget, merged back at each superstep barrier. Zero (the
+	// default) leaves buffering unbounded. Results are bitwise identical
+	// either way; only memory and (mildly) wall time change.
+	MsgMemoryBudget int64
 }
 
 func (o Options) latency() cluster.LatencyModel {
@@ -319,6 +326,7 @@ func (o Options) engineConfig() (engine.Config, error) {
 		Recovery:            o.Recovery,
 		WatchdogTimeout:     o.WatchdogTimeout,
 		DetailedStats:       o.DetailedStats,
+		MsgMemoryBudget:     o.MsgMemoryBudget,
 	}
 	if o.Fault != nil {
 		cfg.Fault = fault.NewInjector(*o.Fault)
