@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race race tcp flow fuzz-wire chaos torture torture-pinned torture-budget fuzz bench-json bench-smoke bench-micro bench-diff ci clean
+.PHONY: build vet test test-short test-race race tcp flow partition fuzz-wire chaos torture torture-pinned torture-budget torture-partition fuzz bench-json bench-smoke bench-micro bench-diff ci clean
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,25 @@ flow:
 	$(GO) test -race -count=1 ./internal/cluster/ -run 'Flow|Credit'
 	$(GO) test -race -count=1 ./internal/msgstore/ -run 'Spill'
 	$(GO) test -race -count=1 ./internal/engine/ -run 'TestBudget' -v
+
+# Locality-aware partitioning gate: the streaming partitioner and
+# relabeling unit suites under the race detector, the partitioner
+# equivalence matrix (every mode × technique × partitioner cell bitwise
+# against the hash baseline), the distributed rebuild conformance cell,
+# and the full-size quality acceptance run (balance bound, >=25%
+# boundary-fraction and cross-partition byte reductions vs hash).
+partition:
+	$(GO) test -race -count=1 ./internal/partition/ ./internal/graph/
+	$(GO) test -race -count=1 ./internal/engine/ -run TestPartitionerEquivalenceMatrix -v
+	$(GO) test -race -count=1 ./internal/dist/ -run TestDistStreamingPartitioners
+	$(GO) test -count=1 ./internal/bench/ -run TestPartitionQuality -v
+
+# Streaming-partitioner torture row (nightly): the pinned sweep rerun with
+# every case forced onto LDG or Fennel placement (split by a seed bit), so
+# all serializability and recovery oracles run against locality-aware maps.
+torture-partition:
+	$(GO) test ./internal/torture/ -run 'TestTorture$$' -count=1 \
+		-torture.n=200 -torture.root=0xdecaf -torture.streampart -timeout=15m
 
 # Tiny-budget torture row (nightly): the pinned sweep rerun with a forced
 # tiny message-plane budget, so credit windows sit at the floor and the BSP

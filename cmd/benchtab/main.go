@@ -7,7 +7,7 @@
 //
 //	benchtab -exp table1|fig1|fig2|fig3|fig6a|fig6b|fig6c|fig6d|giraphx|
 //	              ablation-partitions|ablation-degenerate|ablation-partitioner|
-//	              recovery|flow|all
+//	              recovery|flow|partition|all
 //	         [-scale 0.5] [-workers 16,32] [-latency 50us] [-v]
 //	         [-json bench.json] [-label v3] [-trace]
 //
@@ -116,6 +116,9 @@ func main() {
 		case "flow":
 			header(out, "Bounded memory: credit flow + spill tier, BSP PageRank on UK")
 			bench.Print(out, keep(bench.FlowOverhead(cfg)))
+		case "partition":
+			header(out, "Locality: streaming partitioners (hash vs LDG vs Fennel) across techniques")
+			printPartition(out, keep(bench.PartitionQuality(cfg)))
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
@@ -126,7 +129,7 @@ func main() {
 			"table1", "fig2", "fig1", "fig6a", "fig6b", "fig6c", "fig6d",
 			"giraphx", "ablation-partitions", "ablation-degenerate", "ablation-partitioner",
 			"ablation-combining", "ablation-skip", "mis", "ablation-bap", "exclusion",
-			"recovery", "flow",
+			"recovery", "flow", "partition",
 		} {
 			runOne(name)
 			fmt.Fprintln(out)
@@ -145,6 +148,26 @@ func main() {
 
 func header(w io.Writer, title string) {
 	fmt.Fprintf(w, "== %s ==\n", title)
+}
+
+// printPartition renders the locality rows with their quality report:
+// the §5.3 class census (internal/local/remote/mixed), boundary and cut
+// fractions, replication factor, and balance skew next to the traffic
+// each (technique, partitioner) cell generated.
+func printPartition(w io.Writer, rows []bench.Row) {
+	fmt.Fprintf(w, "%-26s %-9s %9s %9s %7s %6s %6s %5s %12s %12s\n",
+		"technique/partitioner", "alg", "boundary", "cut", "repl", "skew", "census", "", "data KB", "time")
+	for _, r := range rows {
+		q := r.Partition
+		if q == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-26s %-9s %9.3f %9.3f %7.2f %6.2f  i=%d l=%d r=%d m=%d %8d %12v\n",
+			r.Technique, r.Algorithm, q.BoundaryFraction, q.CutFraction,
+			q.ReplicationFactor, q.BalanceSkew,
+			q.PInternal, q.LocalBoundary, q.RemoteBoundary, q.MixedBoundary,
+			r.DataBytes/1024, r.Time.Round(time.Millisecond))
+	}
 }
 
 func printSpectrum(w io.Writer, rows []bench.Row) {

@@ -50,6 +50,7 @@ type coordinatorConfig struct {
 	eps           float64
 	out           string
 	msgMem        int64
+	partitioner   string
 }
 
 // runCoordinatorProcess drives one distributed run and prints the same
@@ -79,6 +80,7 @@ func runCoordinatorProcess(cfg coordinatorConfig) error {
 		Source:          int32(cfg.source),
 		Eps:             cfg.eps,
 		MsgMemoryBudget: cfg.msgMem,
+		Partitioner:     cfg.partitioner,
 	}
 	switch cfg.alg {
 	case "coloring", "wcc":

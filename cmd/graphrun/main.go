@@ -53,6 +53,8 @@ func main() {
 	family := flag.String("family", "", "multi-process runs: generate this graph family instead of loading -graph: powerlaw | rmat | erdos | ring | grid | complete")
 	familyN := flag.Int("n", 0, "generated family size (with -family)")
 	seed := flag.Uint64("seed", 1, "partitioning (and -family generation) seed")
+	partitionerName := flag.String("partitioner", "hash", "vertex placement: hash | range | ldg | fennel")
+	relabel := flag.Bool("relabel", false, "degree-ordered vertex relabeling before partitioning (hub clustering; outputs stay in original IDs)")
 	maxSupersteps := flag.Int("max-supersteps", 0, "bound non-converging runs (0 = library default)")
 	msgMem := flag.Int64("msg-mem", 0, "message-plane memory budget in bytes: sizes the credit windows and, under BSP, caps buffered inbound messages by spilling overflow to disk in arrival order (0 = unbounded)")
 	check := flag.Bool("check", false, "verify serializability (records history; slower)")
@@ -91,6 +93,7 @@ func main() {
 			family: *family, familyN: *familyN, workers: *workersRemote,
 			ppw: *ppw, maxSupersteps: *maxSupersteps, seed: *seed,
 			source: *source, eps: *eps, out: *out, msgMem: *msgMem,
+			partitioner: *partitionerName,
 		}
 		if err := runCoordinatorProcess(cfg); err != nil {
 			log.Fatal(err)
@@ -173,7 +176,7 @@ func main() {
 	opt := serialgraph.Options{
 		Workers: *workers, PartitionsPerWorker: *ppw, Model: mdl,
 		Technique: technique, Transport: transport, NetworkLatency: *latency,
-		Seed: *seed, MaxSupersteps: *maxSupersteps,
+		Seed: *seed, MaxSupersteps: *maxSupersteps, Partitioner: *partitionerName,
 		CheckpointEvery: *checkpointEvery, CheckpointDir: *checkpointDir,
 		Recovery: recovery, WatchdogTimeout: *watchdogTimeout,
 		DetailedStats: *traceOut != "", MsgMemoryBudget: *msgMem,
@@ -205,8 +208,18 @@ func main() {
 	case "coloring", "wcc", "mis", "lpa", "kcore", "triangles":
 		g = serialgraph.Undirected(g)
 	}
-	fmt.Printf("graph: %d vertices, %d edges; %d workers, %s, %s\n",
-		g.NumVertices(), g.NumEdges(), *workers, mdl.String(), technique)
+
+	// Degree-ordered relabeling: run on the hub-clustered permutation,
+	// map the SSSP source in and the result slices back out, so printed
+	// and written values stay in the original vertex IDs.
+	src := serialgraph.VertexID(*source)
+	var rel *serialgraph.Relabeling
+	if *relabel {
+		g, rel = serialgraph.DegreeRelabel(g)
+		src = rel.NewID(src)
+	}
+	fmt.Printf("graph: %d vertices, %d edges; %d workers, %s, %s, %s partitioning\n",
+		g.NumVertices(), g.NumEdges(), *workers, mdl.String(), technique, *partitionerName)
 
 	var res serialgraph.Result
 	var violations []serialgraph.Violation
@@ -233,7 +246,7 @@ func main() {
 		case "pagerank":
 			values, res, err = serialgraph.Run(g, serialgraph.PageRank(*eps), opt)
 		case "sssp":
-			values, res, err = serialgraph.Run(g, serialgraph.SSSP(serialgraph.VertexID(*source)), opt)
+			values, res, err = serialgraph.Run(g, serialgraph.SSSP(src), opt)
 		case "mis":
 			intValues, res, err = serialgraph.Run(g, serialgraph.MISGreedy(), opt)
 			if err == nil {
@@ -285,7 +298,7 @@ func main() {
 		case "pagerank":
 			values, res, err = serialgraph.RunGAS(g, serialgraph.PageRankGAS(g, *eps), opt)
 		case "sssp":
-			values, res, err = serialgraph.RunGAS(g, serialgraph.SSSPGAS(serialgraph.VertexID(*source)), opt)
+			values, res, err = serialgraph.RunGAS(g, serialgraph.SSSPGAS(src), opt)
 		default:
 			err = fmt.Errorf("unknown algorithm %q", *alg)
 		}
@@ -298,9 +311,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rel != nil {
+		// Back to original vertex IDs before anything is written out.
+		if intValues != nil {
+			intValues = serialgraph.Unpermute(rel, intValues)
+		}
+		if values != nil {
+			values = serialgraph.Unpermute(rel, values)
+		}
+	}
 
 	fmt.Printf("converged=%v supersteps=%d executions=%d time=%v\n",
 		res.Converged, res.Supersteps, res.Executions, res.ComputeTime.Round(time.Millisecond))
+	q := res.Partition
+	fmt.Printf("partition: cut=%.3f boundary=%.3f (pint=%d local=%d remote=%d mixed=%d) repl=%.2f skew=%.2f\n",
+		q.CutFraction, q.BoundaryFraction,
+		q.PInternal, q.LocalBoundary, q.RemoteBoundary, q.MixedBoundary,
+		q.ReplicationFactor, q.BalanceSkew)
 	fmt.Printf("network: %d data batches / %d KB data, %d control msgs; forks=%d tokens=%d\n",
 		res.Net.DataMessages, res.Net.DataBytes/1024, res.Net.ControlMessages,
 		res.ForkSends, res.TokenSends)

@@ -28,6 +28,7 @@ import (
 	"serialgraph/internal/graph"
 	"serialgraph/internal/metrics"
 	"serialgraph/internal/model"
+	"serialgraph/internal/partition"
 )
 
 // Row is one measurement. The JSON field names are a stable schema:
@@ -57,6 +58,14 @@ type Row struct {
 	// Confined counts rollbacks that were handled by confined recovery.
 	Confined  int  `json:"confined_recoveries"`
 	Converged bool `json:"converged"`
+	// WireBytes is the encoded byte count actually written to a real
+	// socket transport; zero (and omitted) for the simulated in-process
+	// cluster, where DataBytes is the modeled traffic instead.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Partition is the run's placement quality report: edge cut, the
+	// §5.3 class census, replication factor, and balance skew. Nil for
+	// GAS rows recorded before the GAS engine reported quality.
+	Partition *partition.Quality `json:"partition,omitempty"`
 	// Metrics is the engine's registry snapshot: counters, aggregate
 	// phase timers, histograms. Nil for GAS rows — the GAS engine is not
 	// instrumented.
@@ -208,13 +217,14 @@ func (c Config) runPregelMode(exp, alg, ds string, g *graph.Graph, workers int, 
 		technique = mode.String() + "-none"
 	}
 	m := res.Metrics
+	q := res.Partition
 	return Row{
 		Experiment: exp, Algorithm: alg, Dataset: ds, Workers: workers,
 		Technique: technique, Time: res.ComputeTime, Supersteps: res.Supersteps,
 		Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 		CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends, MaxConc: res.MaxConcurrency,
-		Converged: res.Converged,
-		Metrics:   &m, Trace: res.SuperstepStats,
+		Converged: res.Converged, WireBytes: res.Net.WireBytesSent, Partition: &q,
+		Metrics: &m, Trace: res.SuperstepStats,
 	}
 }
 
@@ -240,12 +250,13 @@ func (c Config) runGAS(exp, alg, ds string, g *graph.Graph, workers int, mk func
 	if err != nil {
 		panic(err)
 	}
+	q := res.Partition
 	return Row{
 		Experiment: exp, Algorithm: alg, Dataset: ds, Workers: workers,
 		Technique: "vertex-lock (GAS)", Time: res.ComputeTime,
 		Executions: res.Executions, DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 		CtrlMsgs: res.Net.ControlMessages, Forks: res.ForkSends, MaxConc: res.MaxConcurrency,
-		Converged: res.Converged,
+		Converged: res.Converged, Partition: &q,
 	}
 }
 

@@ -32,7 +32,12 @@ type diffRow struct {
 	Technique  string `json:"technique"`
 	TimeNs     int64  `json:"time_ns"`
 	Supersteps int    `json:"supersteps"`
-	Metrics    *struct {
+	DataBytes  int64  `json:"data_bytes"`
+	WireBytes  int64  `json:"wire_bytes"`
+	Partition  *struct {
+		BoundaryFraction float64 `json:"boundary_fraction"`
+	} `json:"partition"`
+	Metrics *struct {
 		PhaseNs map[string]int64 `json:"phase_ns"`
 	} `json:"metrics"`
 }
@@ -75,9 +80,21 @@ func fmtDelta(oldNs, newNs int64) string {
 	return fmt.Sprintf("%12v -> %12v  %+6.1f%%", o.Round(10*time.Microsecond), n.Round(10*time.Microsecond), pct)
 }
 
-// WriteDiff prints per-row wall and phase deltas between two reports. Rows
-// present on only one side are listed, not silently dropped. Returns an
-// error only on I/O failure.
+// fmtBytesDelta is fmtDelta for byte counts instead of durations.
+func fmtBytesDelta(oldB, newB int64) string {
+	if oldB == 0 {
+		return fmt.Sprintf("%12d -> %12d", oldB, newB)
+	}
+	pct := 100 * float64(newB-oldB) / float64(oldB)
+	return fmt.Sprintf("%12d -> %12d  %+6.1f%%", oldB, newB, pct)
+}
+
+// WriteDiff prints per-row wall and phase deltas between two reports —
+// plus traffic (data/wire bytes) and partition-quality (boundary
+// fraction) deltas when both reports carry those fields, so a
+// partitioner or codec change's effect is visible alongside wall time.
+// Rows present on only one side are listed, not silently dropped.
+// Returns an error only on I/O failure.
 func WriteDiff(w io.Writer, oldRep, newRep diffReport) error {
 	oldBy := make(map[string]diffRow, len(oldRep.Rows))
 	for _, r := range oldRep.Rows {
@@ -105,6 +122,16 @@ func WriteDiff(w io.Writer, oldRep, newRep diffReport) error {
 		fmt.Fprintf(w, "  %-24s %s\n", "wall", fmtDelta(or.TimeNs, nr.TimeNs))
 		if or.Supersteps != nr.Supersteps {
 			fmt.Fprintf(w, "  %-24s %d -> %d (phase totals cover different work!)\n", "supersteps", or.Supersteps, nr.Supersteps)
+		}
+		if or.DataBytes != 0 && nr.DataBytes != 0 && or.DataBytes != nr.DataBytes {
+			fmt.Fprintf(w, "  %-24s %s\n", "data_bytes", fmtBytesDelta(or.DataBytes, nr.DataBytes))
+		}
+		if or.WireBytes != 0 && nr.WireBytes != 0 && or.WireBytes != nr.WireBytes {
+			fmt.Fprintf(w, "  %-24s %s\n", "wire_bytes", fmtBytesDelta(or.WireBytes, nr.WireBytes))
+		}
+		if or.Partition != nil && nr.Partition != nil && or.Partition.BoundaryFraction != nr.Partition.BoundaryFraction {
+			fmt.Fprintf(w, "  %-24s %12.4f -> %12.4f\n", "boundary_fraction",
+				or.Partition.BoundaryFraction, nr.Partition.BoundaryFraction)
 		}
 		var oCL, nCL int64
 		var haveCL bool

@@ -50,6 +50,46 @@ func TestWriteDiffMatchesRowsAndComputesDeltas(t *testing.T) {
 	}
 }
 
+// TestWriteDiffTrafficAndBoundaryDeltas: data-bytes and
+// boundary-fraction lines appear exactly when both sides carry the
+// fields, so trajectory files from before the partition schema stay
+// diffable without noise.
+func TestWriteDiffTrafficAndBoundaryDeltas(t *testing.T) {
+	oldRep, newRep := diffFixture(100, 100, 10, 10)
+	q := func(bf float64) *struct {
+		BoundaryFraction float64 `json:"boundary_fraction"`
+	} {
+		return &struct {
+			BoundaryFraction float64 `json:"boundary_fraction"`
+		}{BoundaryFraction: bf}
+	}
+	oldRep.Rows[0].DataBytes, newRep.Rows[0].DataBytes = 1000, 600
+	oldRep.Rows[0].Partition, newRep.Rows[0].Partition = q(1.0), q(0.25)
+	var sb strings.Builder
+	if err := WriteDiff(&sb, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"data_bytes", "-40.0%", "boundary_fraction", "0.2500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wire_bytes") {
+		t.Errorf("wire_bytes delta printed without wire bytes on both sides:\n%s", out)
+	}
+
+	// An old report without the partition field produces no boundary line.
+	oldRep.Rows[0].Partition = nil
+	sb.Reset()
+	if err := WriteDiff(&sb, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "boundary_fraction") {
+		t.Errorf("boundary_fraction delta printed for a pre-partition old report:\n%s", sb.String())
+	}
+}
+
 func TestWriteDiffWarnsOnScaleMismatch(t *testing.T) {
 	oldRep, newRep := diffFixture(1, 1, 1, 1)
 	newRep.Scale = 1.0

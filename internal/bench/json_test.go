@@ -29,13 +29,14 @@ func goldenRows(t *testing.T) []Row {
 		t.Fatal(err)
 	}
 	m := res.Metrics
+	q := res.Partition
 	return []Row{{
 		Experiment: "golden", Algorithm: "sssp", Dataset: "powerlaw-120",
 		Workers: 3, Technique: engine.SyncNone.String(),
 		Time: res.ComputeTime, Supersteps: res.Supersteps, Executions: res.Executions,
 		DataMsgs: res.Net.DataMessages, DataBytes: res.Net.DataBytes,
 		CtrlMsgs: res.Net.ControlMessages, Converged: res.Converged,
-		Metrics: &m, Trace: res.SuperstepStats,
+		Partition: &q, Metrics: &m, Trace: res.SuperstepStats,
 	}}
 }
 

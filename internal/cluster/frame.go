@@ -35,7 +35,7 @@ import (
 
 // ProtocolVersion is the wire protocol generation. Bump it whenever the
 // frame layout or any payload encoding changes incompatibly.
-const ProtocolVersion = 1
+const ProtocolVersion = 2
 
 // MaxFrameBytes caps the declared body length of a single frame. A peer
 // (or fuzzer) claiming a larger frame is rejected before any allocation,

@@ -22,6 +22,7 @@ import (
 	"serialgraph/internal/engine"
 	"serialgraph/internal/graph"
 	"serialgraph/internal/model"
+	"serialgraph/internal/partition"
 )
 
 func requireLoopback(t *testing.T) {
@@ -92,6 +93,15 @@ func runEngine[V, M any](t *testing.T, job dist.Job, prog model.Program[V, M], g
 		Sync:                engine.SyncNone,
 		Seed:                job.Seed,
 		MaxSupersteps:       int(job.MaxSupersteps),
+	}
+	if job.Partitioner != "" {
+		cfg.Partitioner = func(g *graph.Graph, p, w int) *partition.Map {
+			m, err := partition.New(job.Partitioner, g, p, w, job.Seed)
+			if err != nil {
+				t.Fatalf("partitioner: %v", err)
+			}
+			return m
+		}
 	}
 	vals, res, _, err := engine.Run(g, prog, cfg)
 	if err != nil {
@@ -170,6 +180,22 @@ func TestDistMatchesEnginePageRank(t *testing.T) {
 	job.Alg = "pagerank"
 	job.Eps = 0.01
 	conform(t, job, algorithms.PageRank(0.01))
+}
+
+// A named streaming partitioner must survive the wire: every worker
+// process rebuilds the identical LDG/Fennel map from the Job spec, and
+// the run still matches the in-process engine bitwise.
+func TestDistStreamingPartitioners(t *testing.T) {
+	requireLoopback(t)
+	for _, kind := range []string{"ldg", "fennel"} {
+		t.Run(kind, func(t *testing.T) {
+			job := baseJob()
+			job.Alg = "sssp"
+			job.Source = 0
+			job.Partitioner = kind
+			conform(t, job, algorithms.SSSP(0))
+		})
+	}
 }
 
 func TestDistMatchesEngineColoring(t *testing.T) {

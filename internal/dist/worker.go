@@ -265,7 +265,10 @@ func runWorker[V, M any](ctrl *frameConn, ln net.Listener, job Job, prog model.P
 	}
 	nw := int(job.Workers)
 	me := int(job.You)
-	pm := partition.NewHash(g, nw*int(job.PartsPerWorker), nw, job.Seed)
+	pm, err := partition.New(job.Partitioner, g, nw*int(job.PartsPerWorker), nw, job.Seed)
+	if err != nil {
+		return err
+	}
 
 	w := &workerRun[V, M]{g: g, pm: pm, me: me, nw: nw, prog: prog}
 	w.cond = sync.NewCond(&w.mu)

@@ -331,6 +331,10 @@ type Result struct {
 	ForkSends, TokenSends int64
 	// Partitions is the total partition count used.
 	Partitions int
+	// Partition is the quality report of the run's partition map:
+	// edge-cut, the §5.3 per-class boundary census, replication factor,
+	// and balance skew. Computed once at startup, outside ComputeTime.
+	Partition partition.Quality
 	// MaxConcurrency is the peak number of concurrently executing
 	// partitions observed (used for the Figure 1 spectrum experiment).
 	MaxConcurrency int64

@@ -192,8 +192,15 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 	if cfg.Recovery == RecoverConfined {
 		r.aggAt = make(map[int]map[string]float64)
 	}
+	// The quality report is one allocation-free O(V+E) pass at setup
+	// (outside ComputeTime); the classification it needs doubles as the
+	// dual-layer token class table.
+	classes := partition.Classify(g, pm)
+	quality := partition.ReportClassified(g, pm, classes)
+	r.reg.Add(metrics.CutEdges, int64(quality.CutEdges))
+	r.reg.Add(metrics.BoundaryVertices, int64(n-quality.PInternal))
 	if cfg.Sync == TokenSingle || cfg.Sync == TokenDual {
-		r.classes = partition.Classify(g, pm)
+		r.classes = classes
 	}
 	if cfg.Sync == VertexLockGiraph {
 		r.pBoundary = partition.PBoundaryFlags(g, pm)
@@ -253,7 +260,7 @@ func Run[V, M any](g *graph.Graph, prog model.Program[V, M], cfg Config) ([]V, R
 		startSuperstep = s0
 	}
 	start := time.Now()
-	res := Result{Partitions: p}
+	res := Result{Partitions: p, Partition: quality}
 	if cfg.Mode == BAP {
 		r.runBAP(&res)
 		res.ComputeTime = time.Since(start)

@@ -41,6 +41,11 @@ type Config struct {
 	BufferCap int
 	// Seed feeds hash placement of vertices onto workers.
 	Seed uint64
+	// Partitioner names the placement partitioner ("" or "hash", "range",
+	// "ldg", "fennel"; see partition.Kinds). GAS maps one partition per
+	// worker (§5.1), so the kind only controls which worker owns each
+	// vertex — locality-aware kinds shrink replica-update traffic.
+	Partitioner string
 	// MaxExecutions aborts runs that do not quiesce (non-serializable
 	// coloring can livelock, §2.3). Default 200 × |V|.
 	MaxExecutions int64
@@ -141,7 +146,12 @@ func Run[V comparable, M any](g *graph.Graph, prog model.GASProgram[V, M], cfg C
 	n := g.NumVertices()
 	// One "partition" per worker: GraphLab async is not partition aware
 	// (§5.1); the map only records vertex placement.
-	r.pm = partition.NewHash(g, cfg.Workers, cfg.Workers, cfg.Seed)
+	pm, err := partition.New(cfg.Partitioner, g, cfg.Workers, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return nil, engine.Result{}, nil, err
+	}
+	r.pm = pm
+	quality := partition.Report(g, r.pm)
 
 	r.values = make([]V, n)
 	for v := 0; v < n; v++ {
@@ -177,7 +187,7 @@ func Run[V comparable, M any](g *graph.Graph, prog model.GASProgram[V, M], cfg C
 	}
 
 	start := time.Now()
-	res := engine.Result{Partitions: cfg.Workers}
+	res := engine.Result{Partitions: cfg.Workers, Partition: quality}
 	res.Converged = r.awaitQuiescence()
 	res.ComputeTime = time.Since(start)
 

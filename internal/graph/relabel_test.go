@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomMultigraph builds a reproducible random multigraph (self-loops and
+// duplicate edges allowed — both are legal Pregel inputs).
+func randomMultigraph(r *rand.Rand, n, m int, weighted bool) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		if weighted {
+			b.AddWeightedEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)), float64(r.Intn(9)+1))
+		} else {
+			b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)))
+		}
+	}
+	return b.Build()
+}
+
+func TestDegreeOrderIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := randomMultigraph(r, 50, 300, false)
+	rl := DegreeOrder(g)
+	if rl.Len() != 50 {
+		t.Fatalf("Len = %d", rl.Len())
+	}
+	seen := make([]bool, 50)
+	for old := VertexID(0); old < 50; old++ {
+		nw := rl.NewID(old)
+		if seen[nw] {
+			t.Fatalf("NewID collision at %d", nw)
+		}
+		seen[nw] = true
+		if rl.OldID(nw) != old {
+			t.Fatalf("OldID(NewID(%d)) = %d", old, rl.OldID(nw))
+		}
+	}
+}
+
+func TestDegreeOrderSortsHubsFirst(t *testing.T) {
+	// A star: vertex 7 is the hub and must get relabeled ID 0.
+	b := NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		if i != 7 {
+			b.AddEdge(7, VertexID(i))
+			b.AddEdge(VertexID(i), 7)
+		}
+	}
+	g := b.Build()
+	rl := DegreeOrder(g)
+	if rl.NewID(7) != 0 {
+		t.Errorf("hub relabeled to %d, want 0", rl.NewID(7))
+	}
+	h := rl.Apply(g)
+	// Degrees must be non-increasing in the relabeled space.
+	prev := int(^uint(0) >> 1)
+	for v := VertexID(0); int(v) < h.NumVertices(); v++ {
+		d := h.OutDegree(v) + h.InDegree(v)
+		if d > prev {
+			t.Fatalf("degree order violated at relabeled vertex %d: %d > %d", v, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestRelabelPreservesStructure: Apply is an isomorphism — every edge
+// (with weight and multiplicity) maps through the permutation, and
+// global statistics are unchanged.
+func TestRelabelPreservesStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := randomMultigraph(r, 3+r.Intn(40), r.Intn(200), trial%2 == 0)
+		rl := DegreeOrder(g)
+		h := rl.Apply(g)
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("size changed: %d/%d -> %d/%d",
+				g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+		}
+		if h.Weighted() != g.Weighted() || h.Undirected() != g.Undirected() {
+			t.Fatal("flags changed")
+		}
+		// Count edges as multisets keyed by mapped endpoints + weight.
+		count := func(g *Graph, remap func(VertexID) VertexID) map[[3]int64]int {
+			m := map[[3]int64]int{}
+			for _, e := range g.Edges() {
+				m[[3]int64{int64(remap(e.Src)), int64(remap(e.Dst)), int64(e.Weight * 64)}]++
+			}
+			return m
+		}
+		want := count(g, rl.NewID)
+		got := count(h, func(v VertexID) VertexID { return v })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("edge multiset changed under relabeling")
+		}
+		if Summarize(g).MaxDegree != Summarize(h).MaxDegree {
+			t.Fatal("max degree changed")
+		}
+	}
+}
+
+// TestRelabelRoundTripProperty is the external-ID contract: preparing a
+// per-vertex input with Permute, indexing it in the relabeled space,
+// and mapping results back with Unpermute reproduces original indexing
+// exactly — for any graph and any values.
+func TestRelabelRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		g := randomMultigraph(r, n, r.Intn(4*n), false)
+		rl := DegreeOrder(g)
+
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		if !reflect.DeepEqual(Unpermute(rl, Permute(rl, vals)), vals) {
+			return false
+		}
+		if !reflect.DeepEqual(Permute(rl, Unpermute(rl, vals)), vals) {
+			return false
+		}
+		// A computation that only depends on topology must commute with
+		// the relabeling: out-degree computed on Apply(g), mapped back,
+		// equals out-degree on g.
+		h := rl.Apply(g)
+		hd := make([]int, n)
+		for v := 0; v < n; v++ {
+			hd[v] = h.OutDegree(VertexID(v))
+		}
+		back := Unpermute(rl, hd)
+		for v := 0; v < n; v++ {
+			if back[v] != g.OutDegree(VertexID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelSizeMismatchPanics(t *testing.T) {
+	g := randomMultigraph(rand.New(rand.NewSource(3)), 10, 20, false)
+	rl := DegreeOrder(g)
+	for name, fn := range map[string]func(){
+		"apply":     func() { rl.Apply(randomMultigraph(rand.New(rand.NewSource(4)), 11, 5, false)) },
+		"unpermute": func() { Unpermute(rl, make([]int, 9)) },
+		"permute":   func() { Permute(rl, make([]int, 11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: size mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestInSlotMatchesReference: the two-way/binary split must agree with
+// a straightforward linear reference on every (u, src) pair, including
+// duplicate in-edges (first occurrence wins) and misses.
+func TestInSlotMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		g := randomMultigraph(r, n, r.Intn(8*n), false) // dense enough for >7 in-degrees
+		for u := VertexID(0); int(u) < n; u++ {
+			in := g.InNeighbors(u)
+			for src := VertexID(-1); int(src) <= n; src++ {
+				wantSlot, wantOK := 0, false
+				for i, v := range in {
+					if v == src {
+						wantSlot, wantOK = i, true
+						break
+					}
+				}
+				gotSlot, gotOK := g.InSlot(u, src)
+				if gotSlot != wantSlot || gotOK != wantOK {
+					t.Fatalf("InSlot(%d, %d) = (%d,%v), want (%d,%v); in-list %v",
+						u, src, gotSlot, gotOK, wantSlot, wantOK, in)
+				}
+			}
+		}
+	}
+}

@@ -134,6 +134,15 @@ const (
 	// BytesSpilled counts message bytes written to the spill tier's run
 	// files when buffered messages exceeded Config.MsgMemoryBudget.
 	BytesSpilled
+	// CutEdges is the number of directed edges crossing partitions under
+	// the run's partition map — set once at startup from the partition
+	// quality report (it is a placement property, not run activity).
+	CutEdges
+	// BoundaryVertices is the number of vertices that are not p-internal
+	// (§5.3) under the run's partition map, set once at startup alongside
+	// CutEdges. Together they make partition quality visible in every
+	// metrics snapshot.
+	BoundaryVertices
 	numCounters
 )
 
@@ -169,6 +178,8 @@ var counterNames = [numCounters]string{
 	"checkpoint_gens_skipped",
 	"credit_wait_ns",
 	"bytes_spilled",
+	"cut_edges",
+	"boundary_vertices",
 }
 
 // Name returns the stable JSON key of a counter.

@@ -98,54 +98,6 @@ func NewRange(g *graph.Graph, p, w int) *Map {
 	return assemble(g, p, w, vp)
 }
 
-// NewLDG partitions with the linear deterministic greedy streaming
-// heuristic of Stanton & Kliot: each vertex (in ID order) goes to the
-// partition holding most of its already-placed neighbors, discounted by how
-// full that partition is. It produces fewer cut edges than hashing and
-// serves as the "better partitioning" point in the ablation experiments.
-func NewLDG(g *graph.Graph, p, w int) *Map {
-	validate(g, p, w)
-	n := g.NumVertices()
-	vp := make([]ID, n)
-	for v := range vp {
-		vp[v] = -1
-	}
-	size := make([]int, p)
-	capacity := float64(n)/float64(p)*1.1 + 1
-	score := make([]float64, p)
-	for v := 0; v < n; v++ {
-		for i := range score {
-			score[i] = 0
-		}
-		u := graph.VertexID(v)
-		count := func(nb graph.VertexID) {
-			if q := vp[nb]; q >= 0 {
-				score[q]++
-			}
-		}
-		for _, nb := range g.OutNeighbors(u) {
-			count(nb)
-		}
-		for _, nb := range g.InNeighbors(u) {
-			count(nb)
-		}
-		best, bestScore := 0, -1.0
-		for i := 0; i < p; i++ {
-			s := score[i] * (1 - float64(size[i])/capacity)
-			if score[i] == 0 {
-				s = 0
-			}
-			// Tie-break toward the least-loaded partition for balance.
-			if s > bestScore || (s == bestScore && size[i] < size[best]) {
-				best, bestScore = i, s
-			}
-		}
-		vp[v] = ID(best)
-		size[best]++
-	}
-	return assemble(g, p, w, vp)
-}
-
 // NewExplicit builds a Map from explicit assignments: vertexPart[v] is v's
 // partition and partWorker[p] is p's worker. Used by tests and the paper's
 // worked examples (Figures 4 and 5).
@@ -213,7 +165,11 @@ func (m *Map) PartitionsOfWorker(w int) []ID {
 }
 
 // Classify computes the dual-layer class of every vertex (§5.3), where
-// "neighbors" means in-edge plus out-edge neighbors, per §3.1.
+// "neighbors" means in-edge plus out-edge neighbors, per §3.1. The
+// classification only needs existence flags, so both adjacency lists are
+// scanned directly without deduplication — one allocation-free O(V+E)
+// pass, cheap enough for the engine to report partition quality on every
+// run.
 func Classify(g *graph.Graph, m *Map) []Class {
 	n := g.NumVertices()
 	classes := make([]Class, n)
@@ -224,7 +180,7 @@ func Classify(g *graph.Graph, m *Map) []Class {
 		sameWorkerOtherPart := false
 		otherWorker := false
 		samePart := false
-		g.Neighbors(u, func(nb graph.VertexID) {
+		note := func(nb graph.VertexID) {
 			switch {
 			case m.PartitionOf(nb) == myPart:
 				samePart = true
@@ -233,7 +189,13 @@ func Classify(g *graph.Graph, m *Map) []Class {
 			default:
 				otherWorker = true
 			}
-		})
+		}
+		for _, nb := range g.OutNeighbors(u) {
+			note(nb)
+		}
+		for _, nb := range g.InNeighbors(u) {
+			note(nb)
+		}
 		switch {
 		case !sameWorkerOtherPart && !otherWorker:
 			classes[v] = PInternal

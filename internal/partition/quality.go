@@ -1,0 +1,134 @@
+package partition
+
+// quality.go is the partition quality report: one struct capturing
+// everything the paper's cost model keys on — edge-cut (remote bytes),
+// the four-way §5.3 class census (token and lock pressure), replication
+// factor (mirror/ghost state), and balance skew (straggler risk). The
+// engine computes it once per run and threads it into Result, metrics,
+// and the bench rows, so partition quality is visible without a
+// debugger.
+
+import "serialgraph/internal/graph"
+
+// Quality summarizes how well a Map localizes a graph. JSON field names
+// are part of the bench report schema (BENCH_NNNN.json) and must stay
+// stable.
+type Quality struct {
+	Partitions int `json:"partitions"`
+	Workers    int `json:"workers"`
+
+	// Edge locality: directed edges whose endpoints live in different
+	// partitions, and the fraction of all edges they represent.
+	CutEdges    int     `json:"cut_edges"`
+	CutFraction float64 `json:"cut_fraction"`
+
+	// Balance: largest and smallest partition (in vertices) and the
+	// skew MaxLoad / (n/P). 1.0 is perfect balance; the streaming
+	// partitioners guarantee skew <= 1+epsilon.
+	MaxLoad     int     `json:"max_load"`
+	MinLoad     int     `json:"min_load"`
+	BalanceSkew float64 `json:"balance_skew"`
+
+	// The §5.3 vertex census: per-Class counts over all vertices.
+	PInternal      int `json:"p_internal"`
+	LocalBoundary  int `json:"local_boundary"`
+	RemoteBoundary int `json:"remote_boundary"`
+	MixedBoundary  int `json:"mixed_boundary"`
+
+	// BoundaryFraction is the share of vertices that are not
+	// p-internal — exactly the population every synchronization
+	// technique pays for (tokens, partition locks, fork grants).
+	BoundaryFraction float64 `json:"boundary_fraction"`
+
+	// ReplicationFactor is the average number of workers that hold a
+	// copy of each vertex under the paper's replica model (§3.1): the
+	// owner plus one mirror per distinct remote worker among its
+	// neighbors. 1.0 means no mirrors at all.
+	ReplicationFactor float64 `json:"replication_factor"`
+}
+
+// ClassCount returns the census count for one §5.3 class.
+func (q Quality) ClassCount(c Class) int {
+	switch c {
+	case PInternal:
+		return q.PInternal
+	case LocalBoundary:
+		return q.LocalBoundary
+	case RemoteBoundary:
+		return q.RemoteBoundary
+	case MixedBoundary:
+		return q.MixedBoundary
+	}
+	return 0
+}
+
+// Report computes the quality of m on g in two O(V+E) passes (Cut plus
+// a classify/replication sweep), with no per-vertex allocation.
+func Report(g *graph.Graph, m *Map) Quality {
+	return ReportClassified(g, m, Classify(g, m))
+}
+
+// ReportClassified is Report with the classification precomputed, so
+// callers that already ran Classify (the engine does, for dual-layer
+// tokens) don't pay for it twice.
+func ReportClassified(g *graph.Graph, m *Map, classes []Class) Quality {
+	n := g.NumVertices()
+	cut := Cut(g, m)
+	q := Quality{
+		Partitions:  m.P,
+		Workers:     m.W,
+		CutEdges:    cut.CutEdges,
+		CutFraction: cut.CutFraction,
+		MaxLoad:     cut.MaxLoad,
+		MinLoad:     cut.MinLoad,
+	}
+	if n > 0 {
+		q.BalanceSkew = float64(cut.MaxLoad) * float64(m.P) / float64(n)
+	}
+	for _, c := range classes {
+		switch c {
+		case PInternal:
+			q.PInternal++
+		case LocalBoundary:
+			q.LocalBoundary++
+		case RemoteBoundary:
+			q.RemoteBoundary++
+		case MixedBoundary:
+			q.MixedBoundary++
+		}
+	}
+	if n > 0 {
+		q.BoundaryFraction = float64(n-q.PInternal) / float64(n)
+	}
+
+	// Replication: count distinct workers per vertex neighborhood with
+	// a version-stamped scratch array instead of a per-vertex set.
+	stamp := make([]int, m.W)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	mirrors := 0
+	for v := 0; v < n; v++ {
+		u := graph.VertexID(v)
+		mine := m.WorkerOf(u)
+		note := func(nb graph.VertexID) {
+			if wk := m.WorkerOf(nb); wk != mine && stamp[wk] != v {
+				stamp[wk] = v
+				mirrors++
+			}
+		}
+		for _, nb := range g.OutNeighbors(u) {
+			note(nb)
+		}
+		for _, nb := range g.InNeighbors(u) {
+			note(nb)
+		}
+	}
+	if n > 0 {
+		q.ReplicationFactor = 1 + float64(mirrors)/float64(n)
+	}
+	return q
+}
+
+// Quality computes the quality report for m on g.
+func (m *Map) Quality(g *graph.Graph) Quality { return Report(g, m) }

@@ -64,7 +64,7 @@ type Scenario struct {
 	Workers        int
 	PartsPerWorker int
 	Threads        int
-	Partitioner    string // "hash", "range", "ldg"
+	Partitioner    string // "hash", "range", "ldg", "fennel"
 	Mode           engine.Mode
 	Sync           engine.Sync
 	// Transport selects the wire backend (in-process simulator or real
@@ -230,6 +230,13 @@ func Sample(seed uint64) Scenario {
 	if r.Intn(4) == 0 {
 		sc.MsgBudget = int64(256 + r.Intn(4096))
 	}
+	// Fennel joins the partitioner pool as a trailing draw (after every
+	// dimension older seeds decoded), overriding a quarter of cases the
+	// way the transport draw does — so pre-fennel seeds still decode
+	// their shape/algorithm/fault plan identically and stay replayable.
+	if r.Intn(4) == 0 {
+		sc.Partitioner = "fennel"
+	}
 	return sc
 }
 
@@ -326,6 +333,10 @@ func buildConfig(sc Scenario, ckptDir string) engine.Config {
 		cfg.Partitioner = partition.NewRange
 	case "ldg":
 		cfg.Partitioner = partition.NewLDG
+	case "fennel":
+		cfg.Partitioner = func(g *graph.Graph, p, w int) *partition.Map {
+			return partition.NewFennel(g, p, w, sc.Seed)
+		}
 	}
 	if sc.Fault != nil {
 		cfg.Fault = fault.NewInjector(*sc.Fault)
@@ -462,7 +473,43 @@ func checkCommon(sc Scenario, cfg engine.Config, g *graph.Graph, res engine.Resu
 			errs = append(errs, err)
 		}
 	}
+	errs = append(errs, checkPartition(sc, cfg, g, res)...)
 	errs = append(errs, checkMetrics(cfg, res)...)
+	return errs
+}
+
+// checkPartition is the placement oracle: the quality report the engine
+// attaches to every Result must be self-consistent (the §5.3 class
+// census covers every vertex exactly once), agree with the startup
+// metrics counters, and — for the capacity-bounded streaming
+// partitioners — respect the (1+ε)·n/P balance guarantee.
+func checkPartition(sc Scenario, cfg engine.Config, g *graph.Graph, res engine.Result) []error {
+	var errs []error
+	q := res.Partition
+	n := g.NumVertices()
+	if sum := q.PInternal + q.LocalBoundary + q.RemoteBoundary + q.MixedBoundary; sum != n {
+		errs = append(errs, fmt.Errorf("partition: class census sums to %d, want %d", sum, n))
+	}
+	if q.BoundaryFraction < 0 || q.BoundaryFraction > 1 || q.CutFraction < 0 || q.CutFraction > 1 {
+		errs = append(errs, fmt.Errorf("partition: fraction out of range: boundary=%v cut=%v", q.BoundaryFraction, q.CutFraction))
+	}
+	if q.ReplicationFactor != 0 && (q.ReplicationFactor < 1 || q.ReplicationFactor > float64(cfg.Workers)) {
+		errs = append(errs, fmt.Errorf("partition: replication factor %v outside [1, %d]", q.ReplicationFactor, cfg.Workers))
+	}
+	m := res.Metrics
+	if got, want := m.Get(metrics.CutEdges), int64(q.CutEdges); got != want {
+		errs = append(errs, fmt.Errorf("partition: cut_edges counter = %d, report says %d", got, want))
+	}
+	if got, want := m.Get(metrics.BoundaryVertices), int64(n-q.PInternal); got != want {
+		errs = append(errs, fmt.Errorf("partition: boundary_vertices counter = %d, report says %d", got, want))
+	}
+	if sc.Partitioner == "ldg" || sc.Partitioner == "fennel" {
+		p := cfg.Workers * cfg.PartitionsPerWorker
+		if cap_ := (partition.StreamOptions{}).Capacity(n, p); q.MaxLoad > cap_ {
+			errs = append(errs, fmt.Errorf("partition: %s max load %d exceeds capacity %d (n=%d p=%d)",
+				sc.Partitioner, q.MaxLoad, cap_, n, p))
+		}
+	}
 	return errs
 }
 

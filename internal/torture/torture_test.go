@@ -27,7 +27,25 @@ var (
 		"fault-plan sweep: count only cases whose plan schedules a crash toward -torture.n (other cases are skipped, keeping seeds replayable)")
 	flagTinyBudget = flag.Bool("torture.tinybudget", false,
 		"force a tiny message-plane memory budget on every case (nightly bounded-memory row; replay failures with the same flag plus -torture.seed)")
+	flagStreamPart = flag.Bool("torture.streampart", false,
+		"force a streaming partitioner (ldg or fennel, by seed parity) on every case (nightly locality row; replay failures with the same flag plus -torture.seed)")
 )
+
+// applyStreamPart pins the scenario's partitioner to ldg or fennel when
+// -torture.streampart is set, split by a seed bit so the sweep covers
+// both. (Bit 1, not bit 0: CaseSeed forces every sweep seed odd.) Like
+// applyTinyBudget, the override is flag-derived: replaying a failure
+// needs the same flag.
+func applyStreamPart(sc Scenario) Scenario {
+	if *flagStreamPart {
+		if sc.Seed&2 == 0 {
+			sc.Partitioner = "ldg"
+		} else {
+			sc.Partitioner = "fennel"
+		}
+	}
+	return sc
+}
 
 // applyTinyBudget pins the scenario's budget to a small sampled-looking
 // value when -torture.tinybudget is set, so the whole sweep runs with
@@ -77,7 +95,7 @@ func failCase(t *testing.T, sc Scenario, err error, scratch string) {
 // oracle to each case. With -torture.seed it replays exactly one case.
 func TestTorture(t *testing.T) {
 	if *flagSeed != 0 {
-		sc := applyTinyBudget(Sample(*flagSeed))
+		sc := applyStreamPart(applyTinyBudget(Sample(*flagSeed)))
 		if sc.Transport == engine.TransportTCP && !LoopbackAvailable() {
 			t.Skipf("seed %#x needs TCP loopback, unavailable here", sc.Seed)
 		}
@@ -99,7 +117,7 @@ func TestTorture(t *testing.T) {
 	ran := 0
 	for i := 0; ran < n; i++ {
 		seed := CaseSeed(*flagRoot, i)
-		sc := applyTinyBudget(Sample(seed))
+		sc := applyStreamPart(applyTinyBudget(Sample(seed)))
 		if *flagFaulty && (sc.Fault == nil || len(sc.Fault.Crashes) == 0) {
 			// The fault-plan sweep spends its case budget only on crash
 			// scenarios; skipping (rather than resampling) keeps every

@@ -90,6 +90,7 @@ func goldenCases(t testing.TB) []goldenCase {
 		Seed: 1131, Source: 0, Eps: 0.05, You: 1,
 		Peers:           []string{"127.0.0.1:40000", "127.0.0.1:40001"},
 		MsgMemoryBudget: 1 << 20,
+		Partitioner:     "ldg",
 	}
 	stepStart := StepStart{Superstep: 3, AggKeys: []string{"pr:delta", "pr:sum"}, AggVals: []float64{0.125, 1}}
 	stepDone := StepDone{

@@ -44,6 +44,9 @@ type Job struct {
 	// MsgMemoryBudget bounds each worker process's buffered inbound
 	// message bytes (0 = unbounded); overflow spills to disk.
 	MsgMemoryBudget int64
+	// Partitioner names the vertex-placement strategy ("" = hash); every
+	// worker rebuilds the identical map from it deterministically.
+	Partitioner string
 }
 
 // StepStart dispatches one superstep with the previous step's merged
@@ -233,7 +236,8 @@ func AppendJob(dst []byte, j Job) []byte {
 	for _, p := range j.Peers {
 		dst = appendString(dst, p)
 	}
-	return cluster.AppendZigzag(dst, j.MsgMemoryBudget)
+	dst = cluster.AppendZigzag(dst, j.MsgMemoryBudget)
+	return appendString(dst, j.Partitioner)
 }
 
 // DecodeJob parses a Job payload.
@@ -296,6 +300,9 @@ func DecodeJob(b []byte) (Job, error) {
 		j.Peers = append(j.Peers, p)
 	}
 	if j.MsgMemoryBudget, b, err = readZigzag64(b); err != nil {
+		return j, err
+	}
+	if j.Partitioner, b, err = readString(b); err != nil {
 		return j, err
 	}
 	if len(b) != 0 {

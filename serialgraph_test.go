@@ -256,3 +256,59 @@ func TestPublicFaultPlanValidated(t *testing.T) {
 		t.Error("crash on worker 5 of a 2-worker cluster was accepted")
 	}
 }
+
+func TestPublicPartitionerOption(t *testing.T) {
+	g := GeneratePowerLaw(200, 4, 2.2, 7)
+	want, _, err := Run(g, SSSP(0), Options{Workers: 4, Model: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range PartitionerKinds() {
+		dists, res, err := Run(g, SSSP(0), Options{
+			Workers: 4, Model: Async, Partitioner: kind,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for v := range want {
+			if dists[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %v, want %v", kind, v, dists[v], want[v])
+			}
+		}
+		q := res.Partition
+		if sum := q.PInternal + q.LocalBoundary + q.RemoteBoundary + q.MixedBoundary; sum != g.NumVertices() {
+			t.Errorf("%s: class census sums to %d, want %d", kind, sum, g.NumVertices())
+		}
+	}
+	if _, _, err := Run(g, SSSP(0), Options{Workers: 2, Partitioner: "metis"}); err == nil {
+		t.Error("unknown partitioner name was accepted")
+	}
+}
+
+func TestPublicDegreeRelabel(t *testing.T) {
+	g := GeneratePowerLaw(200, 4, 2.2, 7)
+	want, _, err := Run(g, SSSP(0), Options{Workers: 4, Model: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, rel := DegreeRelabel(g)
+	got, _, err := Run(rg, SSSP(rel.NewID(0)), Options{
+		Workers: 4, Model: Async, Partitioner: "ldg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = Unpermute(rel, got)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("relabeled run: dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	// The quality helper reports on any valid kind and rejects unknowns.
+	if _, err := PartitionReport(g, "fennel", 8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionReport(g, "metis", 8, 4, 1); err == nil {
+		t.Error("PartitionReport accepted an unknown kind")
+	}
+}
