@@ -8,6 +8,11 @@
 //
 //	benchdiff OLD.json NEW.json
 //	benchdiff -old BENCH_0003.json -new BENCH_0004.json
+//	benchdiff -fail-over 30 BASELINE.json CANDIDATE.json
+//
+// With -fail-over, benchdiff exits non-zero if any matched row's wall
+// clock or per-phase time regressed by more than the given percentage
+// (baselines under 1ms are ignored as noise) — the CI bench-smoke gate.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 func main() {
 	oldPath := flag.String("old", "", "baseline report (BENCH_NNNN.json)")
 	newPath := flag.String("new", "", "candidate report (BENCH_NNNN.json)")
+	failOver := flag.Float64("fail-over", 0,
+		"exit non-zero if any wall or phase time regresses by more than this percentage (0 = report only)")
 	flag.Parse()
 	args := flag.Args()
 	if *oldPath == "" && len(args) > 0 {
@@ -33,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
 		os.Exit(2)
 	}
-	if err := bench.DiffFiles(os.Stdout, *oldPath, *newPath); err != nil {
+	if err := bench.DiffFilesLimit(os.Stdout, *oldPath, *newPath, *failOver); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

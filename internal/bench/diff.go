@@ -163,8 +163,67 @@ func WriteDiff(w io.Writer, oldRep, newRep diffReport) error {
 	return nil
 }
 
+// diffNoiseFloorNs is the smallest baseline value the regression gate
+// considers: percentage deltas on sub-millisecond phases are scheduler
+// noise, not signal.
+const diffNoiseFloorNs = int64(time.Millisecond)
+
+// Regression is one wall-clock or phase increase beyond the fail-over
+// threshold.
+type Regression struct {
+	Key    string // row key (experiment/algorithm/dataset/workers/technique)
+	Metric string // "wall" or a phase name
+	OldNs  int64
+	NewNs  int64
+}
+
+// Pct is the regression as a percentage of the baseline.
+func (r Regression) Pct() float64 { return 100 * float64(r.NewNs-r.OldNs) / float64(r.OldNs) }
+
+// checkRegressions scans matched rows for wall-clock or per-phase
+// increases beyond maxPct percent. Baselines under the noise floor are
+// skipped; rows present on only one side are a shape change, not a
+// regression, and are left to the printed diff.
+func checkRegressions(oldRep, newRep diffReport, maxPct float64) []Regression {
+	oldBy := make(map[string]diffRow, len(oldRep.Rows))
+	for _, r := range oldRep.Rows {
+		oldBy[r.key()] = r
+	}
+	var regs []Regression
+	add := func(key, metric string, o, n int64) {
+		if o < diffNoiseFloorNs {
+			return
+		}
+		if 100*float64(n-o)/float64(o) > maxPct {
+			regs = append(regs, Regression{Key: key, Metric: metric, OldNs: o, NewNs: n})
+		}
+	}
+	for _, nr := range newRep.Rows {
+		or, ok := oldBy[nr.key()]
+		if !ok {
+			continue
+		}
+		add(nr.key(), "wall", or.TimeNs, nr.TimeNs)
+		for _, ph := range diffPhases {
+			ov, ook := or.phase(ph)
+			nv, nok := nr.phase(ph)
+			if ook && nok {
+				add(nr.key(), ph, ov, nv)
+			}
+		}
+	}
+	return regs
+}
+
 // DiffFiles loads two report files and writes their diff to w.
 func DiffFiles(w io.Writer, oldPath, newPath string) error {
+	return DiffFilesLimit(w, oldPath, newPath, 0)
+}
+
+// DiffFilesLimit is DiffFiles plus the CI regression gate: with maxPct > 0
+// it returns an error after the diff if any matched row's wall clock or
+// phase grew by more than maxPct percent over a baseline of at least 1ms.
+func DiffFilesLimit(w io.Writer, oldPath, newPath string, maxPct float64) error {
 	oldRep, err := LoadDiffReport(oldPath)
 	if err != nil {
 		return err
@@ -174,5 +233,20 @@ func DiffFiles(w io.Writer, oldPath, newPath string) error {
 		return err
 	}
 	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n", oldPath, oldRep.Label, newPath, newRep.Label)
-	return WriteDiff(w, oldRep, newRep)
+	if err := WriteDiff(w, oldRep, newRep); err != nil {
+		return err
+	}
+	if maxPct <= 0 {
+		return nil
+	}
+	regs := checkRegressions(oldRep, newRep, maxPct)
+	if len(regs) == 0 {
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s %s: %v -> %v (%+.1f%% > %+.1f%%)\n",
+			r.Key, r.Metric, time.Duration(r.OldNs).Round(10*time.Microsecond),
+			time.Duration(r.NewNs).Round(10*time.Microsecond), r.Pct(), maxPct)
+	}
+	return fmt.Errorf("bench: %d metric(s) regressed more than %.1f%%", len(regs), maxPct)
 }

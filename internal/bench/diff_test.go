@@ -117,3 +117,40 @@ func TestDiffFilesAgainstCommittedTrajectory(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckRegressionsGatesWallAndPhases(t *testing.T) {
+	const ms = int64(1e6)
+	// Wall regresses 50%, compute regresses 100%.
+	oldRep, newRep := diffFixture(10*ms, 15*ms, 20*ms, 40*ms)
+
+	regs := checkRegressions(oldRep, newRep, 30)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (wall + compute): %+v", len(regs), regs)
+	}
+	byMetric := map[string]Regression{}
+	for _, r := range regs {
+		byMetric[r.Metric] = r
+	}
+	if r, ok := byMetric["wall"]; !ok || r.Pct() != 50 {
+		t.Errorf("wall regression = %+v, want +50%%", r)
+	}
+	if r, ok := byMetric["compute_ns"]; !ok || r.Pct() != 100 {
+		t.Errorf("compute regression = %+v, want +100%%", r)
+	}
+
+	// A generous threshold passes both.
+	if regs := checkRegressions(oldRep, newRep, 150); len(regs) != 0 {
+		t.Errorf("threshold 150%% still flagged %+v", regs)
+	}
+
+	// Sub-millisecond baselines are noise, never regressions: the
+	// fixture's token-single row (5ns wall) can grow arbitrarily.
+	oldRep, newRep = diffFixture(10*ms, 10*ms, 20*ms, 20*ms)
+	newRep.Rows = append(newRep.Rows, diffRow{
+		Experiment: "fig1", Algorithm: "coloring", Dataset: "OR",
+		Workers: 16, Technique: "token-single", TimeNs: 500000,
+	})
+	if regs := checkRegressions(oldRep, newRep, 10); len(regs) != 0 {
+		t.Errorf("noise-floor baseline flagged: %+v", regs)
+	}
+}

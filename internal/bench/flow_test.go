@@ -18,6 +18,7 @@ func TestFlowOverheadAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale UK PageRank; covered by the long mode and make flow")
 	}
+	pinGOMAXPROCS(t)
 	rows := FlowOverhead(Config{Scale: 1, Workers: []int{16}})
 	if len(rows) != 3 {
 		t.Fatalf("FlowOverhead returned %d rows, want 3", len(rows))

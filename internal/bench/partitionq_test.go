@@ -74,6 +74,7 @@ func TestPartitionQualityAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size locality run; covered by the long mode and make partition")
 	}
+	pinGOMAXPROCS(t)
 	rows := PartitionQuality(Config{Scale: 1, Workers: []int{16}})
 	checkPartitionRows(t, rows, 12)
 }

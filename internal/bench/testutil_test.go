@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchGOMAXPROCS is the pinned scheduler parallelism for the
+// timing-sensitive acceptance tests. The acceptance gates compare wall
+// times of runs whose concurrency structure (16 workers × threads) far
+// exceeds any CI box's core count; letting GOMAXPROCS float with the
+// host made the same gate ±20% noisier on single-core runners than on
+// developer machines. Pinning makes the interleaving pressure — and so
+// the measured ratios — comparable everywhere.
+const benchGOMAXPROCS = 4
+
+// pinGOMAXPROCS fixes GOMAXPROCS for the duration of a test and restores
+// the previous value on cleanup.
+func pinGOMAXPROCS(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(benchGOMAXPROCS)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}

@@ -1,0 +1,217 @@
+package engine
+
+// Cross-scheduler equivalence matrix: every synchronization technique ×
+// {SSSP, PageRank, coloring} × {static, overlap}. The scheduler decides
+// the order in which one worker's partitions execute — never what they
+// compute — so:
+//
+//   - BSP cells demand bitwise-identical values and superstep counts
+//     across schedulers (per-superstep folds happen in fixed in-slot
+//     order, independent of which thread ran which partition when).
+//   - SSSP has a unique fixed point under every technique: converged
+//     distances must equal the serial reference exactly on every cell.
+//   - Async PageRank and coloring are schedule-dependent; those cells
+//     assert the algorithm-level contract per scheduler (residual bound,
+//     proper coloring under serializable techniques).
+//
+// Each cell also reconciles the new scheduler counters: forks_prefetched,
+// steals, and overlap_compute_ns must be zero under SchedStatic, and
+// forks_prefetched (a subset of lock_acquires, and nonzero whenever
+// boundary partitions executed) only moves under PartitionLock.
+
+import (
+	"testing"
+
+	"serialgraph/internal/algorithms"
+	"serialgraph/internal/metrics"
+)
+
+func schedConfig(mode Mode, sync Sync, sched SchedulerKind) Config {
+	return Config{
+		Workers: 3, PartitionsPerWorker: 4, ThreadsPerWorker: 2,
+		Mode: mode, Sync: sync, Scheduler: sched,
+		Seed: 1131, MaxSupersteps: 200, Metrics: metrics.New(),
+	}
+}
+
+// checkSchedCounters enforces the scheduler-counter contract on any run.
+func checkSchedCounters(t *testing.T, label string, cfg Config, res Result) {
+	t.Helper()
+	m := res.Metrics
+	pref := m.Get(metrics.ForksPrefetched)
+	steals := m.Get(metrics.Steals)
+	overlapNs := m.Get(metrics.OverlapComputeNs)
+	if cfg.Scheduler == SchedStatic {
+		if pref != 0 || steals != 0 || overlapNs != 0 {
+			t.Errorf("%s: static scheduler moved overlap counters: prefetched=%d steals=%d overlap_ns=%d",
+				label, pref, steals, overlapNs)
+		}
+		return
+	}
+	if cfg.Sync != PartitionLock && (pref != 0 || overlapNs != 0) {
+		t.Errorf("%s: fork prefetch counters moved without PartitionLock: prefetched=%d overlap_ns=%d",
+			label, pref, overlapNs)
+	}
+	if pref > m.Get(metrics.LockAcquires) {
+		t.Errorf("%s: forks_prefetched %d exceeds lock_acquires %d",
+			label, pref, m.Get(metrics.LockAcquires))
+	}
+}
+
+func TestSchedulerEquivalenceMatrix(t *testing.T) {
+	scheds := []SchedulerKind{SchedStatic, SchedOverlap}
+	cells := []struct {
+		name string
+		mode Mode
+		sync Sync
+	}{
+		{"bsp/none", BSP, SyncNone},
+		{"async/none", Async, SyncNone},
+		{"async/token-single", Async, TokenSingle},
+		{"async/token-dual", Async, TokenDual},
+		{"async/partition-lock", Async, PartitionLock},
+		{"async/vertex-lock-giraph", Async, VertexLockGiraph},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run("sssp/"+cell.name, func(t *testing.T) {
+			t.Parallel()
+			g := equivGraph(false)
+			want := algorithms.ShortestPaths(g, 0)
+			for _, sched := range scheds {
+				label := "sssp/" + cell.name + "/" + sched.String()
+				cfg := schedConfig(cell.mode, cell.sync, sched)
+				dist, res, _, err := Run(g, algorithms.SSSP(0), cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !res.Converged {
+					t.Fatalf("%s: did not converge", label)
+				}
+				checkSchedCounters(t, label, cfg, res)
+				for v := range want {
+					if dist[v] != want[v] {
+						t.Fatalf("%s: dist[%d] = %v, want %v", label, v, dist[v], want[v])
+					}
+				}
+			}
+		})
+		t.Run("pagerank/"+cell.name, func(t *testing.T) {
+			t.Parallel()
+			g := equivGraph(false)
+			const eps = 0.05
+			aggregated := cell.mode == BSP
+			var basePR []float64
+			baseSteps := -1
+			for _, sched := range scheds {
+				label := "pagerank/" + cell.name + "/" + sched.String()
+				prog := algorithms.PageRank(eps)
+				if aggregated {
+					prog = algorithms.PageRankAggregated(eps)
+				}
+				cfg := schedConfig(cell.mode, cell.sync, sched)
+				pr, res, _, err := Run(g, prog, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !res.Converged {
+					t.Fatalf("%s: did not converge", label)
+				}
+				checkSchedCounters(t, label, cfg, res)
+				if cell.mode == BSP {
+					// Scheduler-independent determinism: bitwise equality
+					// with the static baseline.
+					if basePR == nil {
+						basePR, baseSteps = pr, res.Supersteps
+					} else {
+						if res.Supersteps != baseSteps {
+							t.Fatalf("%s: %d supersteps, static baseline took %d",
+								label, res.Supersteps, baseSteps)
+						}
+						for v := range basePR {
+							if basePR[v] != pr[v] {
+								t.Fatalf("%s: diverges from static baseline at %d: %v vs %v",
+									label, v, pr[v], basePR[v])
+							}
+						}
+					}
+				}
+			}
+		})
+		t.Run("coloring/"+cell.name, func(t *testing.T) {
+			t.Parallel()
+			g := equivGraph(true)
+			var baseColors []int32
+			baseConverged := false
+			for i, sched := range scheds {
+				label := "coloring/" + cell.name + "/" + sched.String()
+				cfg := schedConfig(cell.mode, cell.sync, sched)
+				if cell.mode == BSP {
+					// BSP coloring oscillates (Figure 2); bound it and
+					// compare the deterministic non-converged state.
+					cfg.MaxSupersteps = 30
+				}
+				colors, res, _, err := Run(g, algorithms.Coloring(), cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				checkSchedCounters(t, label, cfg, res)
+				if cell.mode != BSP && !res.Converged {
+					t.Fatalf("%s: did not converge", label)
+				}
+				if res.Converged && cell.sync.Serializable() {
+					if err := algorithms.ValidateColoring(g, colors); err != nil {
+						t.Errorf("%s: %v", label, err)
+					}
+				}
+				if cell.mode != BSP {
+					continue
+				}
+				if i == 0 {
+					baseColors, baseConverged = colors, res.Converged
+					continue
+				}
+				if res.Converged != baseConverged {
+					t.Fatalf("%s: convergence differs from static baseline", label)
+				}
+				for v := range baseColors {
+					if baseColors[v] != colors[v] {
+						t.Fatalf("%s: diverges from static baseline at %d: %d vs %d",
+							label, v, colors[v], baseColors[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapPrefetchesForks pins that the overlap scheduler actually
+// exercises the asynchronous acquisition path: a partition-lock run on a
+// graph with cross-worker edges must issue fork prefetches, and every
+// prefetch is one of the run's lock acquires.
+func TestOverlapPrefetchesForks(t *testing.T) {
+	g := equivGraph(true)
+	cfg := schedConfig(Async, PartitionLock, SchedOverlap)
+	_, res, _, err := Run(g, algorithms.Coloring(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Get(metrics.ForksPrefetched) == 0 {
+		t.Error("overlap partition-lock run issued no fork prefetches")
+	}
+	if m.Get(metrics.ForksPrefetched) > m.Get(metrics.LockAcquires) {
+		t.Errorf("forks_prefetched %d exceeds lock_acquires %d",
+			m.Get(metrics.ForksPrefetched), m.Get(metrics.LockAcquires))
+	}
+}
+
+// TestOverlapRejectsBAP pins the config rule: BAP keeps its own barrierless
+// per-worker loop, so the overlap scheduler is a configuration error there.
+func TestOverlapRejectsBAP(t *testing.T) {
+	g := equivGraph(false)
+	cfg := Config{Workers: 2, Mode: BAP, Sync: SyncNone, Scheduler: SchedOverlap}
+	if _, _, _, err := Run(g, algorithms.SSSP(0), cfg); err == nil {
+		t.Fatal("BAP + SchedOverlap was not rejected")
+	}
+}

@@ -45,6 +45,14 @@ type worker[V, M any] struct {
 	// per superstep.
 	partIdx map[partition.ID]int
 
+	// boundaryParts/internalParts split parts by whether the partition
+	// shares forks with any neighbor partition. Populated by
+	// initLockManager (PartitionLock only); the overlap scheduler
+	// prefetches forks for the boundary list and fills the wait windows
+	// with the internal list.
+	boundaryParts []partition.ID
+	internalParts []partition.ID
+
 	// threads holds one thread scratch object per compute thread, reused
 	// across supersteps so reader scratch, staging buffers, and aggregator
 	// maps keep their capacity instead of being reallocated every step.
@@ -196,6 +204,14 @@ func (w *worker[V, M]) initLockManager(partNeighbors [][]partition.ID) {
 			nbs = append(nbs, chandy.PhilID(q))
 		}
 		w.mgr.AddPhil(chandy.PhilID(p), nbs)
+		if len(nbs) > 0 {
+			w.boundaryParts = append(w.boundaryParts, p)
+		} else {
+			w.internalParts = append(w.internalParts, p)
+		}
+	}
+	if w.r.cfg.Scheduler == SchedOverlap {
+		w.orderBoundaryByColor(partNeighbors)
 	}
 }
 
@@ -328,6 +344,35 @@ func (w *worker[V, M]) runSuperstep(s int) {
 	w.curStep.Store(int64(s))
 	reg := w.r.reg
 	computeStart := time.Now()
+	if w.r.cfg.Scheduler == SchedOverlap {
+		w.computeOverlap(s)
+	} else {
+		w.computeStatic(s)
+	}
+	flushStart := time.Now()
+	reg.AddPhase(metrics.PhaseCompute, flushStart.Sub(computeStart))
+
+	// End-of-superstep flush (§6.1): push out all remaining buffered
+	// remote messages. Token techniques additionally await delivery
+	// confirmations before the token moves on (§4.2, §6.2); locking
+	// techniques rely on FIFO-before-fork flushes mid-superstep and only
+	// need the data on the wire before the barrier.
+	w.buf.FlushAll()
+	if w.r.cfg.Sync == TokenSingle || w.r.cfg.Sync == TokenDual {
+		n := int64(w.ep.FlushWait(w.otherWks))
+		reg.Add(metrics.FlushMarkers, n)
+		reg.Add(metrics.CtrlMessages, n)
+		reg.Add(metrics.CtrlBytes, n*cluster.FlushMarkerBytes)
+	}
+	w.finish = time.Now()
+	reg.AddPhase(metrics.PhaseRemoteFlush, w.finish.Sub(flushStart))
+}
+
+// computeStatic is the original partition scheduler: a shared queue in
+// partition order, each thread pulling the next partition when free. Under
+// PartitionLock every boundary partition's fork acquisition blocks its
+// thread inline.
+func (w *worker[V, M]) computeStatic(s int) {
 	queue := make(chan partition.ID, len(w.parts))
 	for _, p := range w.parts {
 		queue <- p
@@ -348,23 +393,6 @@ func (w *worker[V, M]) runSuperstep(s int) {
 		}()
 	}
 	wg.Wait()
-	flushStart := time.Now()
-	reg.AddPhase(metrics.PhaseCompute, flushStart.Sub(computeStart))
-
-	// End-of-superstep flush (§6.1): push out all remaining buffered
-	// remote messages. Token techniques additionally await delivery
-	// confirmations before the token moves on (§4.2, §6.2); locking
-	// techniques rely on FIFO-before-fork flushes mid-superstep and only
-	// need the data on the wire before the barrier.
-	w.buf.FlushAll()
-	if w.r.cfg.Sync == TokenSingle || w.r.cfg.Sync == TokenDual {
-		n := int64(w.ep.FlushWait(w.otherWks))
-		reg.Add(metrics.FlushMarkers, n)
-		reg.Add(metrics.CtrlMessages, n)
-		reg.Add(metrics.CtrlBytes, n*cluster.FlushMarkerBytes)
-	}
-	w.finish = time.Now()
-	reg.AddPhase(metrics.PhaseRemoteFlush, w.finish.Sub(flushStart))
 }
 
 // localTimingSampleShift sets the local-delivery timing sample rate: one
